@@ -1,0 +1,53 @@
+//! Criterion: one full abstraction-sleep step (propose + score + rewrite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_grammar::frontier::{Frontier, FrontierEntry};
+use dc_grammar::grammar::Grammar;
+use dc_grammar::library::Library;
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::{tint, tlist, Type};
+use dc_vspace::{compress, CompressionConfig};
+use std::sync::Arc;
+
+fn bench_compress(c: &mut Criterion) {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let g = Grammar::uniform(Arc::clone(&lib));
+    let t = Type::arrow(tlist(tint()), tlist(tint()));
+    let sources = [
+        "(lambda (map (lambda (+ $0 1)) $0))",
+        "(lambda (map (lambda (+ $0 $0)) $0))",
+        "(lambda (map (lambda (* $0 $0)) $0))",
+        "(lambda (cons 0 $0))",
+        "(lambda (cdr $0))",
+    ];
+    let frontiers: Vec<Frontier> = sources
+        .iter()
+        .map(|src| {
+            let e = Expr::parse(src, &prims).unwrap();
+            let mut f = Frontier::new(t.clone());
+            f.insert(
+                FrontierEntry { log_prior: g.log_prior(&t, &e), log_likelihood: 0.0, expr: e },
+                5,
+            );
+            f
+        })
+        .collect();
+    let cfg = CompressionConfig {
+        refactor_steps: 2,
+        top_candidates: 15,
+        max_inventions: 1,
+        ..CompressionConfig::default()
+    };
+    c.bench_function("compress_5beams_n2", |b| {
+        b.iter(|| compress(&lib, &frontiers, &cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compress
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion: typed enumeration throughput (the wake-phase hot loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+use dc_grammar::grammar::{ContextualGrammar, Grammar};
+use dc_grammar::library::Library;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::{tint, tlist, Type};
+use std::sync::Arc;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let unigram = Grammar::uniform(Arc::clone(&lib));
+    let bigram = ContextualGrammar::uniform(Arc::clone(&lib));
+    let request = Type::arrow(tlist(tint()), tint());
+    let cfg = EnumerationConfig { budget_start: 9.0, budget_step: 1.0, max_budget: 9.0, ..Default::default() };
+
+    c.bench_function("enumerate_unigram_9nats", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            enumerate_programs(&unigram, &request, &cfg, &mut |_, _| {
+                n += 1;
+                true
+            });
+            n
+        })
+    });
+    c.bench_function("enumerate_bigram_9nats", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            enumerate_programs(&bigram, &request, &cfg, &mut |_, _| {
+                n += 1;
+                true
+            });
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_enumeration
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: the fuel-limited evaluator (every enumerated candidate is
+//! checked against task examples, so this dominates oracle time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_lambda::eval::{run_program, Value};
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+
+fn bench_eval(c: &mut Criterion) {
+    let prims = base_primitives();
+    let map_prog = Expr::parse("(lambda (map (lambda (+ $0 $0)) $0))", &prims).unwrap();
+    let fix_prog = Expr::parse(
+        "(lambda (fix (lambda (lambda (if (is-nil $0) 0 (+ (car $0) ($1 (cdr $0)))))) $0))",
+        &prims,
+    )
+    .unwrap();
+    let input = Value::list((0..20).map(Value::Int).collect());
+    c.bench_function("eval_map_20", |b| {
+        b.iter(|| run_program(&map_prog, &[input.clone()], 100_000).unwrap())
+    });
+    c.bench_function("eval_fix_sum_20", |b| {
+        b.iter(|| run_program(&fix_prog, &[input.clone()], 100_000).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_eval
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: recognition model forward pass and training step — the
+//! paper's design point is that prediction runs once per task, so it must
+//! be cheap relative to search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dc_grammar::library::Library;
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::tint;
+use dc_recognition::{Objective, Parameterization, RecognitionModel, TrainingExample};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_recognition(c: &mut Criterion) {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+    let model = RecognitionModel::new(
+        Arc::clone(&lib), 64, 32, Parameterization::Bigram, Objective::Map, 0.01, &mut rng,
+    );
+    let features = vec![0.1; 64];
+    c.bench_function("recognition_predict", |b| b.iter(|| model.predict(&features)));
+
+    let example = TrainingExample {
+        features: features.clone(),
+        request: tint(),
+        programs: vec![(Expr::parse("(+ 1 (+ 1 1))", &prims).unwrap(), 1.0)],
+    };
+    c.bench_function("recognition_train_step", |b| {
+        b.iter_batched(
+            || model.clone(),
+            |mut m| m.train_step(&example),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_recognition
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion: version-space inversion scaling (`Iβn`, Fig 5 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_vspace::SpaceArena;
+
+fn bench_refactor(c: &mut Criterion) {
+    let prims = base_primitives();
+    let small = Expr::parse("(+ (+ 1 1) (+ 1 1))", &prims).unwrap();
+    let recursive = Expr::parse(
+        "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (+ (car $0) (car $0)) ($1 (cdr $0)))))) $0))",
+        &prims,
+    ).unwrap();
+    let mut group = c.benchmark_group("refactor");
+    for n in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("small", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut arena = SpaceArena::new();
+                arena.refactor(&small, n)
+            })
+        });
+    }
+    for n in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("recursive32", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut arena = SpaceArena::new();
+                arena.refactor(&recursive, n)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_refactor
+}
+criterion_main!(benches);

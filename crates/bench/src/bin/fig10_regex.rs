@@ -1,0 +1,136 @@
+//! **E10 — Fig 10 reproduction.** Held-out generative text concepts:
+//! infer the MAP probabilistic regex from 5 example strings and imagine
+//! new samples, comparing the full system against its two ablations.
+//! Also reports the Fig 7A metric for this domain: posterior-predictive
+//! log-likelihood per character of held-out strings.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+use dc_grammar::grammar::Grammar;
+use dc_lambda::expr::Expr;
+use dc_tasks::domains::regex::{concepts, run_regex_program, RegexDomain};
+use dc_tasks::Domain;
+use dc_wakesleep::{Condition, DreamCoder};
+use rand::SeedableRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ConceptResult {
+    concept: String,
+    condition: String,
+    map_program: Option<String>,
+    samples: Vec<String>,
+    held_out_ll_per_char: f64,
+}
+
+/// Search for the MAP regex for a task under a grammar.
+fn map_regex(
+    grammar: &Grammar,
+    task: &dc_tasks::Task,
+    timeout: Duration,
+) -> Option<(Expr, f64)> {
+    let cfg = EnumerationConfig { timeout: Some(timeout), ..EnumerationConfig::default() };
+    let mut best: Option<(Expr, f64)> = None;
+    enumerate_programs(grammar, &task.request, &cfg, &mut |e, prior| {
+        let ll = task.oracle.log_likelihood(&e);
+        if ll.is_finite() {
+            let post = ll + prior;
+            if best.as_ref().map_or(true, |(_, b)| post > *b) {
+                best = Some((e, post));
+            }
+        }
+        true
+    });
+    best
+}
+
+fn main() {
+    let domain = RegexDomain::new(0);
+    let search_time = Duration::from_millis((1500.0 * dc_bench::scale()) as u64);
+
+    // Train the three conditions briefly on the training concepts.
+    let mut grammars: Vec<(String, Grammar)> = Vec::new();
+    for condition in [Condition::Full, Condition::NoCompression, Condition::NoRecognition] {
+        let mut config = dc_bench::bench_config(condition, 0);
+        config.cycles = 2;
+        config.minibatch = domain.train_tasks().len();
+        let mut dc = DreamCoder::new(&domain, config);
+        let _ = dc.run();
+        grammars.push((condition.label().to_owned(), dc.grammar.clone()));
+    }
+
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let mut results = Vec::new();
+    println!("== Fig 10: held-out generative text concepts ==");
+    for task in domain.test_tasks().iter().take(3) {
+        println!("\nconcept {:?}; observed:", task.name);
+        for ex in &task.examples {
+            println!("    {:?}", ex.output);
+        }
+        // Fresh held-out strings from the true concept for the predictive
+        // likelihood metric.
+        let true_regex = concepts()
+            .into_iter()
+            .find(|(n, _)| *n == task.name)
+            .map(|(_, r)| r)
+            .expect("known concept");
+        let held_out: Vec<String> = (0..5)
+            .filter_map(|_| {
+                let mut s = String::new();
+                let mut budget = 30;
+                true_regex.sample(&mut rng, &mut s, &mut budget);
+                (!s.is_empty()).then_some(s)
+            })
+            .collect();
+
+        for (label, grammar) in &grammars {
+            let found = map_regex(grammar, task, search_time);
+            match found {
+                Some((program, _)) => {
+                    let regex = run_regex_program(&program, 20_000).expect("runs");
+                    let mut samples = Vec::new();
+                    for _ in 0..2 {
+                        let mut s = String::new();
+                        let mut budget = 30;
+                        regex.sample(&mut rng, &mut s, &mut budget);
+                        samples.push(s);
+                    }
+                    let chars: usize =
+                        held_out.iter().map(|s| s.chars().count()).sum::<usize>().max(1);
+                    let ll: f64 = held_out.iter().map(|s| regex.log_prob(s)).sum();
+                    let per_char = ll / chars as f64;
+                    println!(
+                        "  {label:<16} MAP: {:<22} samples: {:?}  held-out ll/char {per_char:.2}",
+                        regex.display(),
+                        samples
+                    );
+                    results.push(ConceptResult {
+                        concept: task.name.clone(),
+                        condition: label.clone(),
+                        map_program: Some(regex.display()),
+                        samples,
+                        held_out_ll_per_char: per_char,
+                    });
+                }
+                None => {
+                    println!("  {label:<16} (no regex found)");
+                    results.push(ConceptResult {
+                        concept: task.name.clone(),
+                        condition: label.clone(),
+                        map_program: None,
+                        samples: vec![],
+                        held_out_ll_per_char: f64::NEG_INFINITY,
+                    });
+                }
+            }
+        }
+    }
+    println!(
+        "\npaper's shape: the full system recovers clean concept structure\n\
+         ((ddd) ddd-dddd for phone numbers, $d.d0 for prices) while the\n\
+         ablations produce noisier or overly generic patterns."
+    );
+    dc_bench::write_report("fig10_regex", &results);
+}

@@ -1,0 +1,80 @@
+//! **E11 — Fig 11A reproduction.** Learning a language for physical laws:
+//! starting from sequence primitives + arithmetic, solve the 60-law
+//! dataset and report both the solve rate and the mathematical vocabulary
+//! (dot products, norms, inverse-square schemas) that abstraction sleep
+//! invents, comparing DreamCoder against EC-style (no-refactoring)
+//! compression.
+
+use dc_tasks::domains::physics::PhysicsDomain;
+use dc_tasks::Domain;
+use dc_wakesleep::{Condition, DreamCoder};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Report {
+    condition: String,
+    solved: usize,
+    total: usize,
+    inventions: Vec<String>,
+    example_solutions: Vec<(String, String)>,
+}
+
+fn main() {
+    let domain = PhysicsDomain::new(0);
+    let total = domain.train_tasks().len();
+    println!("== Fig 11A: discovering a language for physics ({total} laws) ==\n");
+
+    let mut reports = Vec::new();
+    for condition in [Condition::NoRecognition, Condition::Ec] {
+        let mut config = dc_bench::bench_config(condition, 0);
+        config.cycles = 3;
+        config.minibatch = total;
+        config.enumeration.timeout = Some(std::time::Duration::from_millis(
+            (1200.0 * dc_bench::scale()) as u64,
+        ));
+        config.compression.structure_penalty = 0.5;
+        let mut dc = DreamCoder::new(&domain, config);
+        let summary = dc.run();
+        let solved = summary.cycles.last().unwrap().train_solved;
+        println!(
+            "{:<16} solved {}/{} laws ({:.1}%)",
+            summary.condition,
+            solved,
+            total,
+            100.0 * solved as f64 / total as f64
+        );
+        println!("  vocabulary:");
+        for inv in &summary.library {
+            println!("    {inv}");
+        }
+        if summary.library.is_empty() {
+            println!("    (none at this budget)");
+        }
+        let mut examples = Vec::new();
+        let mut idxs: Vec<&usize> = dc.frontiers.keys().collect();
+        idxs.sort();
+        for idx in idxs.into_iter().take(6) {
+            if let Some(best) = dc.frontiers[idx].best() {
+                let name = domain.train_tasks()[*idx].name.clone();
+                println!("    {:<32} {}", name, best.expr);
+                examples.push((name, best.expr.to_string()));
+            }
+        }
+        println!();
+        reports.push(Report {
+            condition: summary.condition.clone(),
+            solved,
+            total,
+            inventions: summary.library.clone(),
+            example_solutions: examples,
+        });
+    }
+    println!(
+        "paper's shape: DreamCoder solves 93.3% (best of 5) / 84.3% (mean) of\n\
+         the laws and invents vector-algebra building blocks first (inner\n\
+         products, norms), then physics schemas (inverse-square); EC trails\n\
+         slightly (86.6% best / 81.1% mean). Expect lower absolute rates at\n\
+         laptop budgets but the same ordering."
+    );
+    dc_bench::write_report("fig11_physics", &reports);
+}

@@ -1,0 +1,194 @@
+//! **E4 — Fig 6 reproduction.** Symmetry breaking requires both the
+//! bigram parameterization *and* the `L_MAP` objective: train the
+//! recognition model in all four regimes on a tiny arithmetic DSL
+//! `{+, 0, 1}`, sample 500 programs from each trained model, and report
+//! the % of right(or left)-associative additions and the % of samples
+//! containing an addition of zero.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+use dc_grammar::grammar::Grammar;
+use dc_grammar::library::Library;
+use dc_grammar::sample::sample_program_with_retries;
+use dc_lambda::eval::run_program;
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::tint;
+use dc_recognition::{Objective, Parameterization, RecognitionModel, TrainingExample};
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Does the expression contain `(+ 0 _)` or `(+ _ 0)`?
+fn has_plus_zero(e: &Expr) -> bool {
+    e.subexpressions().iter().any(|s| {
+        if let Expr::Application(f, x) = s {
+            if let Expr::Application(g, y) = &**f {
+                return g.to_string() == "+"
+                    && (y.to_string() == "0" || x.to_string() == "0");
+            }
+        }
+        false
+    })
+}
+
+/// Classify nested additions: returns (right_nested, left_nested) counts.
+fn associativity(e: &Expr) -> (usize, usize) {
+    let mut right = 0;
+    let mut left = 0;
+    for s in e.subexpressions() {
+        // s = (+ a b): right-nested if b is an addition, left if a is.
+        if let Expr::Application(f, b) = s {
+            if let Expr::Application(g, a) = &**f {
+                if g.to_string() == "+" {
+                    if matches!(&**b, Expr::Application(bf, _) if matches!(&**bf, Expr::Application(bg, _) if bg.to_string() == "+"))
+                    {
+                        right += 1;
+                    }
+                    if matches!(&**a, Expr::Application(af, _) if matches!(&**af, Expr::Application(ag, _) if ag.to_string() == "+"))
+                    {
+                        left += 1;
+                    }
+                }
+            }
+        }
+    }
+    (right, left)
+}
+
+#[derive(Debug, Serialize)]
+struct Regime {
+    parameterization: String,
+    objective: String,
+    pct_associative_consistency: f64,
+    pct_plus_zero: f64,
+    samples: Vec<String>,
+}
+
+fn main() {
+    let prims = base_primitives();
+    let library = Arc::new(Library::from_primitives(
+        prims
+            .iter()
+            .filter(|p| ["+", "0", "1"].contains(&p.name.as_str()))
+            .cloned(),
+    ));
+    let grammar = Grammar::uniform(Arc::clone(&library));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+
+    // Dreamed training tasks: values 0..=6, featurized one-hot-ish. For
+    // each value, the L_MAP target is the *first* (cheapest) enumerated
+    // program producing it; L_post targets the top-5 with posterior mass.
+    let mut maps: HashMap<i64, Vec<(Expr, f64)>> = HashMap::new();
+    let cfg = EnumerationConfig::default();
+    enumerate_programs(&grammar, &tint(), &cfg, &mut |e, lp| {
+        if let Ok(dc_lambda::Value::Int(v)) = run_program(&e, &[], 10_000) {
+            if (0..=6).contains(&v) {
+                let entry = maps.entry(v).or_default();
+                if entry.len() < 5 {
+                    entry.push((e, lp));
+                }
+            }
+        }
+        maps.len() < 7 || maps.values().any(|v| v.len() < 5)
+    });
+
+    fn features(v: i64) -> Vec<f64> {
+        let mut f = vec![0.0; 8];
+        f[(v as usize).min(7)] = 1.0;
+        f
+    }
+
+    let mut report = Vec::new();
+    println!("== Fig 6: symmetry breaking needs bigrams + L_MAP ==\n");
+    println!(
+        "{:<22} {:>24} {:>8}",
+        "regime", "% dominant-assoc", "% +0"
+    );
+    for (param, pname) in [
+        (Parameterization::Unigram, "Unigram"),
+        (Parameterization::Bigram, "Bigram"),
+    ] {
+        for (obj, oname) in [(Objective::Posterior, "L_post"), (Objective::Map, "L_MAP")] {
+            let mut model = RecognitionModel::new(
+                Arc::clone(&library),
+                8,
+                16,
+                param,
+                obj,
+                0.02,
+                &mut rng,
+            );
+            let mut examples = Vec::new();
+            for (&v, progs) in &maps {
+                let programs = match obj {
+                    Objective::Map => vec![(progs[0].0.clone(), 1.0)],
+                    Objective::Posterior => {
+                        let z: f64 = progs.iter().map(|(_, lp)| lp.exp()).sum();
+                        progs.iter().map(|(e, lp)| (e.clone(), lp.exp() / z)).collect()
+                    }
+                };
+                examples.push(TrainingExample {
+                    features: features(v),
+                    request: tint(),
+                    programs,
+                });
+            }
+            model.train(&examples, 400, &mut rng);
+
+            // Sample 500 programs conditioned on random task features.
+            let mut right = 0usize;
+            let mut left = 0usize;
+            let mut plus_zero = 0usize;
+            let mut total = 0usize;
+            let mut shown = Vec::new();
+            while total < 500 {
+                let v = rng.gen_range(0..=6);
+                let q = model.predict(&features(v));
+                if let Some(e) =
+                    sample_program_with_retries(&q, &tint(), &mut rng, 10, 20)
+                {
+                    total += 1;
+                    let (r, l) = associativity(&e);
+                    right += r;
+                    left += l;
+                    if has_plus_zero(&e) {
+                        plus_zero += 1;
+                    }
+                    if shown.len() < 3 {
+                        shown.push(e.to_string());
+                    }
+                }
+            }
+            let nested = (right + left).max(1);
+            // Symmetry breaking = committing to ONE associativity
+            // direction (random initialization picks which; the paper
+            // notes "different random initializations lead to either
+            // right or left association").
+            let dominant = right.max(left) as f64 / nested as f64;
+            let pz = plus_zero as f64 / total as f64;
+            println!(
+                "{:<22} {:>22.1}% {:>7.1}%",
+                format!("{pname}/{oname}"),
+                100.0 * dominant,
+                100.0 * pz
+            );
+            for s in &shown {
+                println!("    sample: {s}");
+            }
+            report.push(Regime {
+                parameterization: pname.to_owned(),
+                objective: oname.to_owned(),
+                pct_associative_consistency: dominant,
+                pct_plus_zero: pz,
+                samples: shown,
+            });
+        }
+    }
+    println!(
+        "\npaper's shape: L_MAP/Bigram is most associatively consistent (97.9%) \
+         with few +0's (2.5%); L_post regimes keep ~30-37% +0's."
+    );
+    dc_bench::write_report("fig6_symmetry", &report);
+}

@@ -1,0 +1,119 @@
+//! **E5/E6/E13 — Fig 7A-B reproduction.** Held-out test accuracy across
+//! experimental conditions on the list and text domains (panel A:
+//! DreamCoder vs its ablations and baselines; panel B: vs minibatched
+//! EC2), plus the solve-time statistics of Appendix Fig 20.
+//!
+//! Usage: `fig7_accuracy [--panel a|b] [--domain list|text|both] [--seeds N]`
+
+use dc_tasks::domain::Domain;
+use dc_tasks::domains::list::ListDomain;
+use dc_tasks::domains::text::TextDomain;
+use dc_wakesleep::{Condition, DreamCoder, RunSummary};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    domain: String,
+    condition: String,
+    mean_test_solved: f64,
+    std_test_solved: f64,
+    mean_solve_time: f64,
+    median_solve_time: f64,
+    runs: Vec<RunSummary>,
+}
+
+fn run_condition(domain: &dyn Domain, condition: Condition, seeds: u64) -> Row {
+    let mut runs = Vec::new();
+    for seed in 0..seeds {
+        let config = dc_bench::bench_config(condition, seed);
+        let mut dc = DreamCoder::new(domain, config);
+        runs.push(dc.run());
+    }
+    let accs: Vec<f64> = runs.iter().map(|r| r.final_test_solved).collect();
+    let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+    let var =
+        accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
+    let last = runs.last().and_then(|r| r.cycles.last());
+    Row {
+        domain: domain.name().to_owned(),
+        condition: condition.label().to_owned(),
+        mean_test_solved: mean,
+        std_test_solved: var.sqrt(),
+        mean_solve_time: last.map_or(0.0, |c| c.mean_solve_time),
+        median_solve_time: last.map_or(0.0, |c| c.median_solve_time),
+        runs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let panel = args
+        .iter()
+        .position(|a| a == "--panel")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "a".to_owned());
+    let domain_arg = args
+        .iter()
+        .position(|a| a == "--domain")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "list".to_owned());
+    let seeds: u64 = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+
+    let conditions: Vec<Condition> = match panel.as_str() {
+        "b" => vec![Condition::Full, Condition::Ec2],
+        _ => vec![
+            Condition::Full,
+            Condition::NoRecognition,
+            Condition::NoCompression,
+            Condition::Memorize { with_recognition: true },
+            Condition::Memorize { with_recognition: false },
+            Condition::NeuralOnly,
+            Condition::EnumerationOnly,
+        ],
+    };
+
+    let mut domains: Vec<Box<dyn Domain>> = Vec::new();
+    if domain_arg == "list" || domain_arg == "both" {
+        domains.push(Box::new(ListDomain::new(0)));
+    }
+    if domain_arg == "text" || domain_arg == "both" {
+        domains.push(Box::new(TextDomain::new(0)));
+    }
+
+    println!("== Fig 7{} : held-out accuracy by condition ==\n", panel.to_uppercase());
+    let mut rows = Vec::new();
+    for domain in &domains {
+        println!("domain: {}", domain.name());
+        println!(
+            "{:<18} {:>12} {:>8} {:>12} {:>12}",
+            "condition", "test solved", "± std", "mean solve", "median solve"
+        );
+        for &condition in &conditions {
+            let row = run_condition(domain.as_ref(), condition, seeds);
+            println!(
+                "{:<18} {:>11.1}% {:>7.1}% {:>11.2}s {:>11.2}s",
+                row.condition,
+                100.0 * row.mean_test_solved,
+                100.0 * row.std_test_solved,
+                row.mean_solve_time,
+                row.median_solve_time
+            );
+            rows.push(row);
+        }
+        println!();
+    }
+    println!(
+        "paper's shape: DreamCoder >= every ablation on every domain; the gap is\n\
+         largest for generative/structure-building domains; solve times are\n\
+         seconds-scale for solved tasks (paper: mean 54.1s, median 15.0s at\n\
+         20-100 CPUs — scaled down here)."
+    );
+    dc_bench::write_report(&format!("fig7_accuracy_panel_{panel}"), &rows);
+}

@@ -1,0 +1,82 @@
+//! **E7 — Fig 7C-D reproduction.** How library structure evolves over
+//! wake/sleep cycles, with and without the recognition model: per-cycle
+//! (depth, size, % solved) points and the depth-vs-performance /
+//! size-vs-performance correlations.
+
+use dc_tasks::domains::list::ListDomain;
+use dc_tasks::domains::text::TextDomain;
+use dc_tasks::Domain;
+use dc_wakesleep::{Condition, DreamCoder};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Point {
+    domain: String,
+    condition: String,
+    cycle: usize,
+    depth: usize,
+    size: usize,
+    test_solved: f64,
+}
+
+fn main() {
+    let domains: Vec<Box<dyn Domain>> =
+        vec![Box::new(ListDomain::new(0)), Box::new(TextDomain::new(0))];
+    let mut points: Vec<Point> = Vec::new();
+    for domain in &domains {
+        for condition in [Condition::Full, Condition::NoRecognition] {
+            for seed in 0..1 {
+                let mut config = dc_bench::bench_config(condition, seed);
+                config.cycles = 4;
+                let mut dc = DreamCoder::new(domain.as_ref(), config);
+                let summary = dc.run();
+                for c in &summary.cycles {
+                    points.push(Point {
+                        domain: domain.name().to_owned(),
+                        condition: condition.label().to_owned(),
+                        cycle: c.cycle,
+                        depth: c.library_depth,
+                        size: c.library_size,
+                        test_solved: c.test_solved,
+                    });
+                }
+            }
+        }
+    }
+
+    println!("== Fig 7C-D: library structure vs performance ==\n");
+    println!(
+        "{:<6} {:<16} {:>5} {:>6} {:>5} {:>8}",
+        "domain", "condition", "cycle", "depth", "size", "solved"
+    );
+    for p in &points {
+        println!(
+            "{:<6} {:<16} {:>5} {:>6} {:>5} {:>7.1}%",
+            p.domain, p.condition, p.cycle, p.depth, p.size, 100.0 * p.test_solved
+        );
+    }
+
+    let depths: Vec<f64> = points.iter().map(|p| p.depth as f64).collect();
+    let sizes: Vec<f64> = points.iter().map(|p| p.size as f64).collect();
+    let solved: Vec<f64> = points.iter().map(|p| p.test_solved).collect();
+    let r_depth = dc_bench::pearson(&depths, &solved);
+    let r_size = dc_bench::pearson(&sizes, &solved);
+    println!("\ncorrelation(depth, solved)  r = {r_depth:.2}   (paper: r = 0.79)");
+    println!("correlation(size,  solved)  r = {r_size:.2}   (paper: similar but weaker)");
+
+    // Recognition vs not: final accuracy at comparable depth.
+    for condition in ["DreamCoder", "No Recognition"] {
+        let acc: Vec<f64> = points
+            .iter()
+            .filter(|p| p.condition == condition)
+            .map(|p| p.test_solved)
+            .collect();
+        if !acc.is_empty() {
+            println!(
+                "{condition:<16} mean solved over cycles: {:.1}%",
+                100.0 * acc.iter().sum::<f64>() / acc.len() as f64
+            );
+        }
+    }
+    dc_bench::write_report("fig7_library_structure", &points);
+}

@@ -1,0 +1,355 @@
+//! Best-first typed enumeration of programs in decreasing prior order.
+//!
+//! Implements the budget-interval iterative-deepening scheme of the
+//! original DreamCoder solver: enumerate every program whose description
+//! length (in nats, `-log P[ρ|D,θ]`) falls in `[lower, upper)`, then grow
+//! the window. Programs therefore stream out in (approximately) decreasing
+//! prior probability without any priority queue, and no program is emitted
+//! twice.
+
+use std::time::{Duration, Instant};
+
+use dc_lambda::expr::Expr;
+use dc_lambda::types::{Context, Type};
+
+use crate::grammar::{candidates, ProgramPrior};
+use crate::library::BigramParent;
+
+/// Controls for an enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumerationConfig {
+    /// First budget window upper bound, in nats.
+    pub budget_start: f64,
+    /// Window growth per round, in nats.
+    pub budget_step: f64,
+    /// Give up beyond this description length.
+    pub max_budget: f64,
+    /// Maximum syntactic nesting depth of enumerated programs.
+    pub max_depth: usize,
+    /// Wall-clock timeout for the whole run.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> EnumerationConfig {
+        EnumerationConfig {
+            budget_start: 6.0,
+            budget_step: 1.5,
+            max_budget: 40.0,
+            max_depth: 16,
+            timeout: None,
+        }
+    }
+}
+
+/// Enumerate closed programs of type `request` in decreasing prior order.
+///
+/// `callback(expr, log_prior)` is invoked for each program; return `false`
+/// to stop the run early. Returns the number of programs emitted.
+pub fn enumerate_programs(
+    prior: &dyn ProgramPrior,
+    request: &Type,
+    config: &EnumerationConfig,
+    callback: &mut dyn FnMut(Expr, f64) -> bool,
+) -> usize {
+    let started = Instant::now();
+    let mut emitted = 0usize;
+    let mut lower = 0.0;
+    let mut upper = config.budget_start;
+    'outer: while lower < config.max_budget {
+        let mut ctx = Context::starting_after(request);
+        let deadline = config.timeout.map(|t| started + t);
+        let keep_going = enum_request(
+            prior,
+            &mut ctx,
+            &Env::Nil,
+            BigramParent::Start,
+            0,
+            request.clone(),
+            lower,
+            upper.min(config.max_budget),
+            config.max_depth,
+            deadline,
+            &mut |_, e, ll| {
+                emitted += 1;
+                callback(e, ll)
+            },
+        );
+        if !keep_going {
+            break 'outer;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                break 'outer;
+            }
+        }
+        lower = upper;
+        upper += config.budget_step;
+    }
+    emitted
+}
+
+/// A persistent type environment (cons list) so recursion can extend it
+/// without cloning vectors.
+enum Env<'a> {
+    Nil,
+    Cons(Type, &'a Env<'a>),
+}
+
+impl<'a> Env<'a> {
+    fn to_vec(&self) -> Vec<Type> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        while let Env::Cons(t, rest) = cur {
+            out.push(t.clone());
+            cur = rest;
+        }
+        out
+    }
+}
+
+/// Enumerate programs for `request`; `ret(ctx, expr, log_prior)` receives
+/// each. Returns `false` to propagate early exit.
+#[allow(clippy::too_many_arguments)]
+fn enum_request(
+    prior: &dyn ProgramPrior,
+    ctx: &mut Context,
+    env: &Env<'_>,
+    parent: BigramParent,
+    arg: usize,
+    request: Type,
+    lower: f64,
+    upper: f64,
+    depth: usize,
+    deadline: Option<Instant>,
+    ret: &mut dyn FnMut(&mut Context, Expr, f64) -> bool,
+) -> bool {
+    if upper <= 0.0 || depth == 0 {
+        return true;
+    }
+    if let Some(d) = deadline {
+        if Instant::now() >= d {
+            return false;
+        }
+    }
+    let request = request.apply(ctx);
+    if let Some((a, b)) = request.as_arrow() {
+        let (a, b) = (a.clone(), b.clone());
+        let env2 = Env::Cons(a, env);
+        return enum_request(
+            prior,
+            ctx,
+            &env2,
+            parent,
+            arg,
+            b,
+            lower,
+            upper,
+            depth,
+            deadline,
+            &mut |c, body, ll| ret(c, Expr::abstraction(body), ll),
+        );
+    }
+    let env_types = env.to_vec();
+    for cand in candidates(prior, parent, arg, ctx, &env_types, &request) {
+        let mdl = -cand.log_prob;
+        if mdl >= upper {
+            continue;
+        }
+        let mut cctx = cand.ctx.clone();
+        let keep = enum_applications(
+            prior,
+            &mut cctx,
+            env,
+            cand.child_parent,
+            cand.expr.clone(),
+            cand.log_prob,
+            &cand.arg_types,
+            0,
+            lower + cand.log_prob,
+            upper + cand.log_prob,
+            depth,
+            deadline,
+            ret,
+        );
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enum_applications(
+    prior: &dyn ProgramPrior,
+    ctx: &mut Context,
+    env: &Env<'_>,
+    parent: BigramParent,
+    f: Expr,
+    f_ll: f64,
+    arg_types: &[Type],
+    arg_index: usize,
+    lower: f64,
+    upper: f64,
+    depth: usize,
+    deadline: Option<Instant>,
+    ret: &mut dyn FnMut(&mut Context, Expr, f64) -> bool,
+) -> bool {
+    let Some((first, rest)) = arg_types.split_first() else {
+        if lower <= 0.0 && upper > 0.0 {
+            return ret(ctx, f, f_ll);
+        }
+        return true;
+    };
+    enum_request(
+        prior,
+        ctx,
+        env,
+        parent,
+        arg_index,
+        first.clone(),
+        0.0,
+        upper,
+        depth - 1,
+        deadline,
+        &mut |ctx2, arg_expr, arg_ll| {
+            enum_applications(
+                prior,
+                ctx2,
+                env,
+                parent,
+                Expr::application(f.clone(), arg_expr),
+                f_ll + arg_ll,
+                rest,
+                arg_index + 1,
+                lower + arg_ll,
+                upper + arg_ll,
+                depth,
+                deadline,
+                ret,
+            )
+        },
+    )
+}
+
+/// Convenience: collect the first `n` enumerated programs with priors.
+pub fn enumerate_top(
+    prior: &dyn ProgramPrior,
+    request: &Type,
+    config: &EnumerationConfig,
+    n: usize,
+) -> Vec<(Expr, f64)> {
+    let mut out = Vec::with_capacity(n);
+    enumerate_programs(prior, request, config, &mut |e, ll| {
+        out.push((e, ll));
+        out.len() < n
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+    use crate::library::Library;
+    use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::{tint, tlist};
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn grammar() -> (Grammar, dc_lambda::PrimitiveSet) {
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        (Grammar::uniform(lib), prims)
+    }
+
+    #[test]
+    fn enumerates_in_decreasing_prior_order_within_window() {
+        let (g, _) = grammar();
+        let progs = enumerate_top(&g, &tint(), &EnumerationConfig::default(), 200);
+        assert!(progs.len() >= 100, "expected many int programs, got {}", progs.len());
+        // Description length (=-ll) must be nondecreasing across windows
+        // up to window granularity; check the coarse property: first
+        // program is among the cheapest.
+        let best = progs.iter().map(|(_, ll)| *ll).fold(f64::NEG_INFINITY, f64::max);
+        assert!(progs[0].1 >= best - 6.0);
+    }
+
+    #[test]
+    fn no_duplicates_across_budget_windows() {
+        let (g, _) = grammar();
+        let progs = enumerate_top(&g, &tint(), &EnumerationConfig::default(), 500);
+        let mut seen = HashSet::new();
+        for (e, _) in &progs {
+            assert!(seen.insert(e.to_string()), "duplicate program {e}");
+        }
+    }
+
+    #[test]
+    fn all_enumerated_programs_typecheck() {
+        let (g, _) = grammar();
+        let t = Type::arrow(tlist(tint()), tint());
+        let progs = enumerate_top(&g, &t, &EnumerationConfig::default(), 200);
+        assert!(!progs.is_empty());
+        let mut ctx = Context::new();
+        for (e, _) in &progs {
+            let it = e.infer_with(&mut Context::new(), &[]).unwrap_or_else(|_| {
+                panic!("enumerated ill-typed program {e}");
+            });
+            let mut c2 = Context::starting_after(&it);
+            let inst = t.instantiate(&mut c2);
+            assert!(
+                c2.unify(&it, &inst).is_ok(),
+                "program {e} has type {it}, not {t}"
+            );
+        }
+        let _ = &mut ctx;
+    }
+
+    #[test]
+    fn enumerated_priors_match_log_prior() {
+        let (g, _) = grammar();
+        let t = tint();
+        for (e, ll) in enumerate_top(&g, &t, &EnumerationConfig::default(), 100) {
+            let direct = g.log_prior(&t, &e);
+            assert!(
+                (direct - ll).abs() < 1e-6,
+                "prior mismatch for {e}: {direct} vs {ll}"
+            );
+        }
+    }
+
+    #[test]
+    fn callback_can_stop_early() {
+        let (g, _) = grammar();
+        let mut count = 0;
+        enumerate_programs(&g, &tint(), &EnumerationConfig::default(), &mut |_, _| {
+            count += 1;
+            count < 5
+        });
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn timeout_is_respected() {
+        let (g, _) = grammar();
+        let cfg = EnumerationConfig {
+            timeout: Some(Duration::from_millis(50)),
+            max_budget: 1000.0,
+            ..EnumerationConfig::default()
+        };
+        let started = Instant::now();
+        enumerate_programs(&g, &tint(), &cfg, &mut |_, _| true);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn function_requests_produce_lambdas() {
+        let (g, _) = grammar();
+        let t = Type::arrow(tint(), tint());
+        let progs = enumerate_top(&g, &t, &EnumerationConfig::default(), 50);
+        for (e, _) in &progs {
+            assert!(matches!(e, Expr::Abstraction(_)), "expected lambda, got {e}");
+        }
+    }
+}

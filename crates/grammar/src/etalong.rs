@@ -1,0 +1,145 @@
+//! η-long normalization.
+//!
+//! The generative model (and hence enumeration, priors, and recognition
+//! training) works over β-normal, η-long programs: every function position
+//! is fully applied and every arrow-typed hole is a λ. Compression rewrites
+//! programs into forms that may be partially applied (`(map f)`), so before
+//! scoring we convert to η-long form.
+
+use dc_lambda::expr::Expr;
+use dc_lambda::types::{Context, Type};
+
+/// Convert `expr` to β-normal η-long form at type `request`.
+///
+/// Returns `None` when the expression is ill-typed at `request`, contains
+/// unbound indices, or β-normalization exceeds its step budget.
+pub fn eta_long(expr: &Expr, request: &Type) -> Option<Expr> {
+    let normal = expr.beta_normal_form(10_000)?;
+    let mut ctx = Context::starting_after(request);
+    eta(&normal, request.clone(), &mut ctx, &mut Vec::new())
+}
+
+fn eta(expr: &Expr, request: Type, ctx: &mut Context, env: &mut Vec<Type>) -> Option<Expr> {
+    let request = request.apply(ctx);
+    if let Some((a, b)) = request.as_arrow() {
+        let (a, b) = (a.clone(), b.clone());
+        return match expr {
+            Expr::Abstraction(body) => {
+                env.insert(0, a);
+                let r = eta(body, b, ctx, env);
+                env.remove(0);
+                Some(Expr::abstraction(r?))
+            }
+            _ => {
+                // η-expand: e ==> (λ (e' $0)) with e' shifted under the binder.
+                let shifted = expr.shift(1)?;
+                let applied = Expr::application(shifted, Expr::Index(0));
+                env.insert(0, a);
+                let r = eta(&applied, b, ctx, env);
+                env.remove(0);
+                Some(Expr::abstraction(r?))
+            }
+        };
+    }
+    // Non-arrow request: decompose the spine and recurse on arguments.
+    let mut spine = Vec::new();
+    let mut head = expr;
+    while let Expr::Application(f, x) = head {
+        spine.push(&**x);
+        head = f;
+    }
+    spine.reverse();
+    let mut head_ty = match head {
+        Expr::Index(i) => env.get(*i)?.clone(),
+        Expr::Primitive(p) => p.ty.instantiate(ctx),
+        Expr::Invented(inv) => inv.ty.instantiate(ctx),
+        Expr::Abstraction(_) => return None, // β-redex survived: give up
+        Expr::Application(_, _) => unreachable!("spine decomposition"),
+    };
+    let mut arg_tys = Vec::with_capacity(spine.len());
+    for _ in &spine {
+        head_ty = head_ty.apply(ctx);
+        match head_ty.as_arrow() {
+            Some((a, b)) => {
+                arg_tys.push(a.clone());
+                head_ty = b.clone();
+            }
+            None => {
+                let a = ctx.fresh_variable();
+                let b = ctx.fresh_variable();
+                ctx.unify(&head_ty, &Type::arrow(a.clone(), b.clone())).ok()?;
+                arg_tys.push(a);
+                head_ty = b;
+            }
+        }
+    }
+    ctx.unify(&head_ty, &request).ok()?;
+    let mut out = head.clone();
+    for (arg, at) in spine.iter().zip(arg_tys) {
+        let long = eta(arg, at, ctx, env)?;
+        out = Expr::application(out, long);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::{tint, tlist};
+
+    #[test]
+    fn expands_partial_application() {
+        let prims = base_primitives();
+        let e = Expr::parse("(+ 1)", &prims).unwrap();
+        let long = eta_long(&e, &Type::arrow(tint(), tint())).unwrap();
+        assert_eq!(long.to_string(), "(lambda (+ 1 $0))");
+    }
+
+    #[test]
+    fn expands_bare_combinator() {
+        let prims = base_primitives();
+        let e = Expr::parse("map", &prims).unwrap();
+        let t = Type::arrows(
+            vec![Type::arrow(tint(), tint()), tlist(tint())],
+            tlist(tint()),
+        );
+        let long = eta_long(&e, &t).unwrap();
+        // Fully η-long: the arrow-typed variable argument is itself
+        // expanded to a λ.
+        assert_eq!(long.to_string(), "(lambda (lambda (map (lambda ($2 $0)) $0)))");
+    }
+
+    #[test]
+    fn already_long_is_fixed_point() {
+        let prims = base_primitives();
+        let e = Expr::parse("(lambda (+ $0 1))", &prims).unwrap();
+        let long = eta_long(&e, &Type::arrow(tint(), tint())).unwrap();
+        assert_eq!(long, e);
+    }
+
+    #[test]
+    fn beta_reduces_first() {
+        let prims = base_primitives();
+        let e = Expr::parse("((lambda (+ $0 $0)) 1)", &prims).unwrap();
+        let long = eta_long(&e, &tint()).unwrap();
+        assert_eq!(long.to_string(), "(+ 1 1)");
+    }
+
+    #[test]
+    fn rejects_ill_typed() {
+        let prims = base_primitives();
+        let e = Expr::parse("(+ 1 1)", &prims).unwrap();
+        assert!(eta_long(&e, &dc_lambda::types::tbool()).is_none());
+    }
+
+    #[test]
+    fn partial_higher_order_argument_is_expanded() {
+        let prims = base_primitives();
+        // `(map (+ 1) $0)` has a partially applied argument.
+        let e = Expr::parse("(lambda (map (+ 1) $0))", &prims).unwrap();
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let long = eta_long(&e, &t).unwrap();
+        assert_eq!(long.to_string(), "(lambda (map (lambda (+ 1 $0)) $0))");
+    }
+}

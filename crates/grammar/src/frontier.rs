@@ -1,0 +1,142 @@
+//! Frontiers: the beams `B_x` of candidate programs per task (§2.4).
+
+use dc_lambda::expr::Expr;
+use dc_lambda::types::Type;
+
+use crate::library::logsumexp;
+
+/// One program in a frontier, with its task likelihood and prior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierEntry {
+    /// The program.
+    pub expr: Expr,
+    /// `log P[x | ρ]`.
+    pub log_likelihood: f64,
+    /// `log P[ρ | D, θ]`.
+    pub log_prior: f64,
+}
+
+impl FrontierEntry {
+    /// Unnormalized log-posterior `log P[x|ρ] + log P[ρ|D,θ]`.
+    pub fn log_posterior(&self) -> f64 {
+        self.log_likelihood + self.log_prior
+    }
+}
+
+/// The beam `B_x` for one task: up to `beam_size` programs solving it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frontier {
+    /// The task's request type.
+    pub request: Type,
+    /// Programs found, best first.
+    pub entries: Vec<FrontierEntry>,
+}
+
+impl Frontier {
+    /// An empty frontier for a request type.
+    pub fn new(request: Type) -> Frontier {
+        Frontier { request, entries: Vec::new() }
+    }
+
+    /// True when no programs have been found.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of programs held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Insert an entry, keeping at most `beam_size` best-posterior entries.
+    pub fn insert(&mut self, entry: FrontierEntry, beam_size: usize) {
+        if self.entries.iter().any(|e| e.expr == entry.expr) {
+            return;
+        }
+        self.entries.push(entry);
+        self.entries
+            .sort_by(|a, b| b.log_posterior().partial_cmp(&a.log_posterior()).unwrap());
+        self.entries.truncate(beam_size);
+    }
+
+    /// The maximum-a-posteriori program, if any.
+    pub fn best(&self) -> Option<&FrontierEntry> {
+        self.entries.first()
+    }
+
+    /// Normalized posterior weights over the beam (sums to 1).
+    pub fn posterior_weights(&self) -> Vec<f64> {
+        let lps: Vec<f64> = self.entries.iter().map(FrontierEntry::log_posterior).collect();
+        let z = logsumexp(&lps);
+        lps.into_iter().map(|lp| (lp - z).exp()).collect()
+    }
+
+    /// The beam's contribution to the lower bound `ℒ` (Eq. 3):
+    /// `log Σ_{ρ∈B_x} P[x|ρ] P[ρ|D,θ]`.
+    pub fn log_evidence(&self) -> f64 {
+        let lps: Vec<f64> = self.entries.iter().map(FrontierEntry::log_posterior).collect();
+        logsumexp(&lps)
+    }
+
+    /// Re-score the priors of all entries with `score` and re-sort.
+    pub fn rescore(&mut self, mut score: impl FnMut(&Expr) -> f64) {
+        for e in &mut self.entries {
+            e.log_prior = score(&e.expr);
+        }
+        self.entries
+            .sort_by(|a, b| b.log_posterior().partial_cmp(&a.log_posterior()).unwrap());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::tint;
+
+    fn entry(src: &str, ll: f64, lp: f64) -> FrontierEntry {
+        let prims = base_primitives();
+        FrontierEntry {
+            expr: Expr::parse(src, &prims).unwrap(),
+            log_likelihood: ll,
+            log_prior: lp,
+        }
+    }
+
+    #[test]
+    fn beam_keeps_best_entries() {
+        let mut f = Frontier::new(tint());
+        f.insert(entry("0", 0.0, -5.0), 2);
+        f.insert(entry("1", 0.0, -3.0), 2);
+        f.insert(entry("(+ 1 1)", 0.0, -8.0), 2);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.best().unwrap().log_prior, -3.0);
+    }
+
+    #[test]
+    fn duplicate_programs_are_not_inserted() {
+        let mut f = Frontier::new(tint());
+        f.insert(entry("0", 0.0, -5.0), 5);
+        f.insert(entry("0", 0.0, -5.0), 5);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn posterior_weights_normalize() {
+        let mut f = Frontier::new(tint());
+        f.insert(entry("0", 0.0, -1.0), 5);
+        f.insert(entry("1", 0.0, -2.0), 5);
+        let w = f.posterior_weights();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[0] > w[1]);
+    }
+
+    #[test]
+    fn log_evidence_increases_with_more_programs() {
+        let mut f = Frontier::new(tint());
+        f.insert(entry("0", 0.0, -2.0), 5);
+        let e1 = f.log_evidence();
+        f.insert(entry("1", 0.0, -2.0), 5);
+        assert!(f.log_evidence() > e1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Saving and loading learned libraries and grammars.
+//!
+//! A learned library is serialized as surface syntax: primitives by name,
+//! inventions as `#(...)` source text (nested inventions re-parse
+//! recursively). This lets a downstream user persist what DreamCoder
+//! learned and reload it against the same primitive set.
+
+use std::sync::Arc;
+
+use dc_lambda::error::ParseError;
+use dc_lambda::expr::{Expr, Invented, PrimitiveLookup};
+use dc_lambda::primitives::PrimitiveSet;
+use serde::{Deserialize, Serialize};
+
+use crate::grammar::Grammar;
+use crate::library::{Library, LibraryItem, WeightVector};
+
+/// Serialized form of a [`Library`] plus unigram weights.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SavedGrammar {
+    /// Names of base primitives, in production order.
+    pub primitives: Vec<String>,
+    /// Invention bodies as surface syntax, in production order (inventions
+    /// come after primitives, matching [`Library::push_invented`]).
+    pub inventions: Vec<String>,
+    /// `log_variable` weight.
+    pub log_variable: f64,
+    /// Per-production log weights (primitives then inventions).
+    pub log_productions: Vec<f64>,
+}
+
+/// Error loading a saved grammar.
+#[derive(Debug)]
+pub enum LoadError {
+    /// A primitive name was not found in the supplied primitive set.
+    UnknownPrimitive(String),
+    /// An invention body failed to parse or typecheck.
+    BadInvention(String, ParseError),
+    /// Weight vector length disagrees with the library size.
+    WeightMismatch {
+        /// Productions in the library.
+        expected: usize,
+        /// Weights provided.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::UnknownPrimitive(name) => {
+                write!(f, "unknown primitive {name:?} in saved grammar")
+            }
+            LoadError::BadInvention(src, e) => {
+                write!(f, "invention {src:?} failed to load: {e}")
+            }
+            LoadError::WeightMismatch { expected, found } => {
+                write!(f, "expected {expected} weights, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serialize a grammar (library + θ) for persistence.
+pub fn save_grammar(grammar: &Grammar) -> SavedGrammar {
+    let mut primitives = Vec::new();
+    let mut inventions = Vec::new();
+    for item in &grammar.library.items {
+        match &item.expr {
+            Expr::Invented(inv) => inventions.push(inv.body.to_string()),
+            other => primitives.push(other.to_string()),
+        }
+    }
+    SavedGrammar {
+        primitives,
+        inventions,
+        log_variable: grammar.weights.log_variable,
+        log_productions: grammar.weights.log_productions.clone(),
+    }
+}
+
+/// Reconstruct a grammar from its saved form against a primitive set.
+///
+/// # Errors
+/// See [`LoadError`]. Invention bodies referencing earlier inventions are
+/// resolved because they serialize as inline `#(...)` literals.
+pub fn load_grammar(saved: &SavedGrammar, prims: &PrimitiveSet) -> Result<Grammar, LoadError> {
+    let mut items = Vec::new();
+    for name in &saved.primitives {
+        let p = prims
+            .primitive(name)
+            .ok_or_else(|| LoadError::UnknownPrimitive(name.clone()))?;
+        items.push(LibraryItem::from_primitive(p));
+    }
+    for src in &saved.inventions {
+        let body = Expr::parse(src, prims)
+            .map_err(|e| LoadError::BadInvention(src.clone(), e))?;
+        let name = format!("#{body}");
+        let inv = Invented::new(&name, body).map_err(|e| {
+            LoadError::BadInvention(src.clone(), ParseError::new(e.to_string()))
+        })?;
+        items.push(LibraryItem::from_invented(inv));
+    }
+    let library = Arc::new(Library { items });
+    if saved.log_productions.len() != library.len() {
+        return Err(LoadError::WeightMismatch {
+            expected: library.len(),
+            found: saved.log_productions.len(),
+        });
+    }
+    Ok(Grammar {
+        library,
+        weights: WeightVector {
+            log_variable: saved.log_variable,
+            log_productions: saved.log_productions.clone(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::tint;
+
+    #[test]
+    fn grammar_round_trips_through_save_load() {
+        let prims = base_primitives();
+        let mut lib = Library::from_primitives(prims.iter().cloned());
+        let body = Expr::parse("(lambda (+ $0 $0))", &prims).unwrap();
+        let inv = Invented::new("#(lambda (+ $0 $0))", body).unwrap();
+        lib.push_invented(inv);
+        let mut g = Grammar::uniform(Arc::new(lib));
+        g.weights.log_variable = -0.5;
+        g.weights.log_productions[3] = 1.25;
+
+        let saved = save_grammar(&g);
+        let loaded = load_grammar(&saved, &prims).unwrap();
+        assert_eq!(loaded.library.len(), g.library.len());
+        assert_eq!(loaded.weights, g.weights);
+        // Same priors for the same program.
+        let e = Expr::parse("(+ 1 1)", &prims).unwrap();
+        assert!((loaded.log_prior(&tint(), &e) - g.log_prior(&tint(), &e)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_inventions_round_trip() {
+        let prims = base_primitives();
+        let mut lib = Library::from_primitives(prims.iter().cloned());
+        let double_body = Expr::parse("(lambda (+ $0 $0))", &prims).unwrap();
+        let double = Invented::new("#(lambda (+ $0 $0))", double_body).unwrap();
+        lib.push_invented(Arc::clone(&double));
+        // quad = λx. double (double x), written with the invention inline.
+        let quad_body = Expr::abstraction(Expr::application(
+            Expr::Invented(Arc::clone(&double)),
+            Expr::application(Expr::Invented(double), Expr::Index(0)),
+        ));
+        let quad = Invented::new(&format!("#{quad_body}"), quad_body).unwrap();
+        lib.push_invented(quad);
+        let g = Grammar::uniform(Arc::new(lib));
+
+        let saved = save_grammar(&g);
+        let json = serde_json::to_string(&saved).unwrap();
+        let back: SavedGrammar = serde_json::from_str(&json).unwrap();
+        let loaded = load_grammar(&back, &prims).unwrap();
+        assert_eq!(loaded.library.len(), g.library.len());
+        assert_eq!(loaded.library.depth(), 2);
+    }
+
+    #[test]
+    fn load_errors_are_informative() {
+        let prims = base_primitives();
+        let saved = SavedGrammar {
+            primitives: vec!["no-such-prim".into()],
+            inventions: vec![],
+            log_variable: 0.0,
+            log_productions: vec![0.0],
+        };
+        assert!(matches!(
+            load_grammar(&saved, &prims),
+            Err(LoadError::UnknownPrimitive(_))
+        ));
+        let saved = SavedGrammar {
+            primitives: vec!["+".into()],
+            inventions: vec![],
+            log_variable: 0.0,
+            log_productions: vec![],
+        };
+        assert!(matches!(
+            load_grammar(&saved, &prims),
+            Err(LoadError::WeightMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,152 @@
+//! Sampling random programs from a grammar — the generative direction used
+//! to produce "dreams"/fantasies during dream sleep (§4).
+
+use dc_lambda::expr::Expr;
+use dc_lambda::types::{Context, Type};
+use rand::Rng;
+
+use crate::grammar::{candidates, ProgramPrior};
+use crate::library::BigramParent;
+
+/// Sample a program of type `request`. Returns `None` if generation blows
+/// past `max_depth` (callers typically retry).
+pub fn sample_program<R: Rng + ?Sized>(
+    prior: &dyn ProgramPrior,
+    request: &Type,
+    rng: &mut R,
+    max_depth: usize,
+) -> Option<Expr> {
+    let mut ctx = Context::starting_after(request);
+    sample_inner(
+        prior,
+        &mut ctx,
+        &mut Vec::new(),
+        BigramParent::Start,
+        0,
+        request.clone(),
+        rng,
+        max_depth,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sample_inner<R: Rng + ?Sized>(
+    prior: &dyn ProgramPrior,
+    ctx: &mut Context,
+    env: &mut Vec<Type>,
+    parent: BigramParent,
+    arg: usize,
+    request: Type,
+    rng: &mut R,
+    depth: usize,
+) -> Option<Expr> {
+    if depth == 0 {
+        return None;
+    }
+    let request = request.apply(ctx);
+    if let Some((a, b)) = request.as_arrow() {
+        let (a, b) = (a.clone(), b.clone());
+        env.insert(0, a);
+        let body = sample_inner(prior, ctx, env, parent, arg, b, rng, depth);
+        env.remove(0);
+        return body.map(Expr::abstraction);
+    }
+    let cands = candidates(prior, parent, arg, ctx, env, &request);
+    if cands.is_empty() {
+        return None;
+    }
+    // Sample proportional to exp(log_prob).
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut chosen = cands.len() - 1;
+    for (i, c) in cands.iter().enumerate() {
+        acc += c.log_prob.exp();
+        if u <= acc {
+            chosen = i;
+            break;
+        }
+    }
+    let cand = &cands[chosen];
+    *ctx = cand.ctx.clone();
+    let mut expr = cand.expr.clone();
+    for (k, at) in cand.arg_types.iter().enumerate() {
+        let a = sample_inner(
+            prior,
+            ctx,
+            env,
+            cand.child_parent,
+            k,
+            at.clone(),
+            rng,
+            depth - 1,
+        )?;
+        expr = Expr::application(expr, a);
+    }
+    Some(expr)
+}
+
+/// Sample up to `attempts` times until a sample succeeds.
+pub fn sample_program_with_retries<R: Rng + ?Sized>(
+    prior: &dyn ProgramPrior,
+    request: &Type,
+    rng: &mut R,
+    max_depth: usize,
+    attempts: usize,
+) -> Option<Expr> {
+    (0..attempts).find_map(|_| sample_program(prior, request, rng, max_depth))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+    use crate::library::Library;
+    use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::{tint, tlist};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn samples_are_well_typed() {
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        let g = Grammar::uniform(lib);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let mut got = 0;
+        for _ in 0..200 {
+            if let Some(e) = sample_program(&g, &t, &mut rng, 8) {
+                got += 1;
+                let it = e.infer().unwrap_or_else(|_| panic!("ill-typed sample {e}"));
+                let mut ctx = Context::starting_after(&it);
+                let inst = t.instantiate(&mut ctx);
+                assert!(ctx.unify(&it, &inst).is_ok(), "sample {e} : {it} not {t}");
+            }
+        }
+        assert!(got > 50, "sampling almost always failed ({got}/200)");
+    }
+
+    #[test]
+    fn sample_prior_is_finite() {
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        let g = Grammar::uniform(lib);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let t = tint();
+        for _ in 0..100 {
+            if let Some(e) = sample_program(&g, &t, &mut rng, 8) {
+                assert!(g.log_prior(&t, &e).is_finite(), "sample {e} has -inf prior");
+            }
+        }
+    }
+
+    #[test]
+    fn retries_help() {
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        let g = Grammar::uniform(lib);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let t = tint();
+        assert!(sample_program_with_retries(&g, &t, &mut rng, 6, 50).is_some());
+    }
+}

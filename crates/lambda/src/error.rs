@@ -1,0 +1,80 @@
+//! Error types for parsing and evaluation.
+
+use std::fmt;
+
+/// Error raised while parsing surface syntax into an [`crate::expr::Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    /// Create a parse error with the given message.
+    pub fn new(message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Error raised during program evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The step budget ran out (likely divergence).
+    FuelExhausted,
+    /// A primitive received a value of the wrong runtime kind.
+    TypeMismatch {
+        /// What the primitive expected, e.g. `"int"`.
+        expected: &'static str,
+        /// What it actually saw (rendered).
+        found: String,
+    },
+    /// Any other runtime failure (partial operations, bounds, etc.).
+    Runtime(String),
+}
+
+impl EvalError {
+    /// A runtime error with a message.
+    pub fn runtime(msg: impl Into<String>) -> EvalError {
+        EvalError::Runtime(msg.into())
+    }
+
+    /// A kind-mismatch error.
+    pub fn type_error(expected: &'static str, found: &crate::eval::Value) -> EvalError {
+        EvalError::TypeMismatch { expected, found: format!("{found:?}") }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+            EvalError::TypeMismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            EvalError::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_no_period() {
+        let e = EvalError::runtime("car of empty list");
+        let s = e.to_string();
+        assert!(s.starts_with("runtime error"));
+        assert!(!s.ends_with('.'));
+        assert_eq!(ParseError::new("x").to_string(), "parse error: x");
+    }
+}

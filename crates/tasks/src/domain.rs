@@ -1,0 +1,108 @@
+//! The [`Domain`] trait: everything wake/sleep needs to run on one of the
+//! paper's eight problem-solving domains — base primitives, train/test
+//! task corpora, a featurizer, and a way to turn dreamed programs into
+//! dreamed tasks.
+
+use std::sync::Arc;
+
+use dc_grammar::library::Library;
+use dc_lambda::eval::{EvalCtx, Value};
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::PrimitiveSet;
+use dc_lambda::types::Type;
+use rand::RngCore;
+
+use crate::task::Task;
+
+/// A problem-solving domain (§5 of the paper).
+pub trait Domain: Send + Sync {
+    /// Short name, e.g. `"list"`.
+    fn name(&self) -> &str;
+
+    /// The base language the learner starts with.
+    fn primitives(&self) -> &PrimitiveSet;
+
+    /// The initial library over those primitives.
+    fn initial_library(&self) -> Arc<Library> {
+        Arc::new(Library::from_primitives(self.primitives().iter().cloned()))
+    }
+
+    /// Training tasks (the corpus solved during waking).
+    fn train_tasks(&self) -> &[Task];
+
+    /// Held-out test tasks (Fig 7 reports accuracy on these).
+    fn test_tasks(&self) -> &[Task];
+
+    /// Dimensionality of task feature vectors.
+    fn feature_dim(&self) -> usize {
+        64
+    }
+
+    /// The request types dreams should be sampled at.
+    fn dream_requests(&self) -> Vec<Type>;
+
+    /// Turn a dreamed program into a task by executing it on sampled
+    /// inputs (§4 "Fantasies"). `None` when the program crashes or its
+    /// outputs are degenerate.
+    fn dream(&self, program: &Expr, request: &Type, rng: &mut dyn RngCore) -> Option<Task>;
+}
+
+/// Run `program` on each input tuple, failing fast. A shared helper for
+/// building dreamed I/O tasks.
+pub fn run_on_inputs(
+    program: &Expr,
+    inputs: &[Vec<Value>],
+    fuel: u64,
+) -> Option<Vec<crate::task::Example>> {
+    let mut out = Vec::with_capacity(inputs.len());
+    for ins in inputs {
+        let mut ctx = EvalCtx::with_fuel(fuel);
+        let v = ctx.run(program, ins).ok()?;
+        out.push(crate::task::Example { inputs: ins.clone(), output: v });
+    }
+    Some(out)
+}
+
+/// Are the outputs degenerate (all identical, ignoring inputs)? Dreams
+/// like these teach the recognition model nothing and are dropped.
+pub fn degenerate_outputs(examples: &[crate::task::Example]) -> bool {
+    examples.len() > 1 && examples.windows(2).all(|w| w[0].output == w[1].output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Example;
+    use dc_lambda::primitives::base_primitives;
+
+    #[test]
+    fn run_on_inputs_collects_examples() {
+        let prims = base_primitives();
+        let e = Expr::parse("(lambda (+ $0 1))", &prims).unwrap();
+        let examples =
+            run_on_inputs(&e, &[vec![Value::Int(1)], vec![Value::Int(5)]], 1_000).unwrap();
+        assert_eq!(examples.len(), 2);
+        assert_eq!(examples[1].output, Value::Int(6));
+    }
+
+    #[test]
+    fn run_on_inputs_fails_on_crash() {
+        let prims = base_primitives();
+        let e = Expr::parse("(lambda (car nil))", &prims).unwrap();
+        assert!(run_on_inputs(&e, &[vec![Value::Int(1)]], 1_000).is_none());
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let same = vec![
+            Example { inputs: vec![Value::Int(1)], output: Value::Int(0) },
+            Example { inputs: vec![Value::Int(2)], output: Value::Int(0) },
+        ];
+        assert!(degenerate_outputs(&same));
+        let diff = vec![
+            Example { inputs: vec![Value::Int(1)], output: Value::Int(1) },
+            Example { inputs: vec![Value::Int(2)], output: Value::Int(0) },
+        ];
+        assert!(!degenerate_outputs(&diff));
+    }
+}

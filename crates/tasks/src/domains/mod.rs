@@ -1,0 +1,12 @@
+//! The eight evaluation domains of the paper (§5), each with any
+//! simulator substrate it needs.
+
+pub mod list;
+pub mod logo;
+pub mod origami;
+pub mod physics;
+pub mod reals;
+pub mod regex;
+pub mod symreg;
+pub mod text;
+pub mod tower;

@@ -1,0 +1,129 @@
+//! Real-valued arithmetic primitives shared by the symbolic-regression
+//! and physics-law domains, plus an approximate-equality oracle.
+
+use std::sync::Arc;
+
+use dc_lambda::error::EvalError;
+use dc_lambda::eval::{EvalCtx, Value};
+use dc_lambda::expr::{Expr, Primitive};
+use dc_lambda::primitives::PrimitiveSet;
+use dc_lambda::types::{treal, Type};
+
+use crate::task::{Example, TaskOracle};
+
+fn real2(
+    name: &str,
+    f: impl Fn(f64, f64) -> Result<f64, EvalError> + Send + Sync + 'static,
+) -> Arc<Primitive> {
+    Primitive::function(name, Type::arrows(vec![treal(), treal()], treal()), move |args, _| {
+        let r = f(args[0].as_real()?, args[1].as_real()?)?;
+        if r.is_finite() {
+            Ok(Value::Real(r))
+        } else {
+            Err(EvalError::runtime("non-finite real"))
+        }
+    })
+}
+
+/// Real arithmetic: `+. -. *. /. sqrt.` and a few constants.
+pub fn real_primitives() -> PrimitiveSet {
+    let mut s = PrimitiveSet::new();
+    s.add(real2("+.", |a, b| Ok(a + b)))
+        .add(real2("-.", |a, b| Ok(a - b)))
+        .add(real2("*.", |a, b| Ok(a * b)))
+        .add(real2("/.", |a, b| {
+            if b.abs() < 1e-9 {
+                Err(EvalError::runtime("real division by zero"))
+            } else {
+                Ok(a / b)
+            }
+        }))
+        .add(Primitive::function("sqrt.", Type::arrow(treal(), treal()), |args, _| {
+            let a = args[0].as_real()?;
+            if a < 0.0 {
+                Err(EvalError::runtime("sqrt of negative"))
+            } else {
+                Ok(Value::Real(a.sqrt()))
+            }
+        }))
+        .add(Primitive::constant("1r", treal(), Value::Real(1.0)))
+        .add(Primitive::constant("2r", treal(), Value::Real(2.0)))
+        .add(Primitive::constant("half", treal(), Value::Real(0.5)));
+    s
+}
+
+/// Do two values match approximately (relative tolerance on reals,
+/// recursing through lists)?
+pub fn approx_eq(a: &Value, b: &Value, rel_tol: f64) -> bool {
+    match (a, b) {
+        (Value::Real(_) | Value::Int(_), Value::Real(_) | Value::Int(_)) => {
+            let (x, y) = (a.as_real().unwrap_or(f64::NAN), b.as_real().unwrap_or(f64::NAN));
+            let scale = x.abs().max(y.abs()).max(1e-6);
+            (x - y).abs() <= rel_tol * scale
+        }
+        (Value::List(x), Value::List(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| approx_eq(u, v, rel_tol))
+        }
+        _ => a == b,
+    }
+}
+
+/// I/O oracle with approximate real comparison.
+#[derive(Debug, Clone)]
+pub struct RealOracle {
+    /// Examples to reproduce.
+    pub examples: Vec<Example>,
+    /// Relative tolerance.
+    pub rel_tol: f64,
+    /// Evaluation fuel per example.
+    pub fuel: u64,
+}
+
+impl TaskOracle for RealOracle {
+    fn log_likelihood(&self, program: &Expr) -> f64 {
+        for ex in &self.examples {
+            let mut ctx = EvalCtx::with_fuel(self.fuel);
+            match ctx.run(program, &ex.inputs) {
+                Ok(v) if approx_eq(&v, &ex.output, self.rel_tol) => {}
+                _ => return f64::NEG_INFINITY,
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::eval::run_program;
+
+    #[test]
+    fn real_arithmetic_works() {
+        let prims = real_primitives();
+        let e = Expr::parse("(/. (+. 1r 2r) 2r)", &prims).unwrap();
+        assert_eq!(run_program(&e, &[], 1_000).unwrap(), Value::Real(1.5));
+        let s = Expr::parse("(sqrt. (*. 2r 2r))", &prims).unwrap();
+        assert_eq!(run_program(&s, &[], 1_000).unwrap(), Value::Real(2.0));
+    }
+
+    #[test]
+    fn division_by_zero_and_negative_sqrt_error() {
+        let prims = real_primitives();
+        let e = Expr::parse("(/. 1r (-. 1r 1r))", &prims).unwrap();
+        assert!(run_program(&e, &[], 1_000).is_err());
+        let s = Expr::parse("(sqrt. (-. 1r 2r))", &prims).unwrap();
+        assert!(run_program(&s, &[], 1_000).is_err());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_errors() {
+        assert!(approx_eq(&Value::Real(1.0), &Value::Real(1.0005), 1e-3));
+        assert!(!approx_eq(&Value::Real(1.0), &Value::Real(1.1), 1e-3));
+        assert!(approx_eq(
+            &Value::list(vec![Value::Real(2.0)]),
+            &Value::list(vec![Value::Real(2.0000001)]),
+            1e-3
+        ));
+        assert!(!approx_eq(&Value::Real(1.0), &Value::Bool(true), 1e-3));
+    }
+}

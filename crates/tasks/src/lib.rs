@@ -1,0 +1,31 @@
+//! # dc-tasks
+//!
+//! Synthesis tasks and the eight DreamCoder evaluation domains (§5 of the
+//! paper), together with every simulator substrate they require: a LOGO
+//! turtle rasterizer, a block-tower stage, a probabilistic regex
+//! interpreter, continuous-parameter fitting for symbolic regression, the
+//! 60-law physics dataset, and the 1959-Lisp origami corpus.
+//!
+//! # Example
+//!
+//! ```
+//! use dc_tasks::domain::Domain;
+//! use dc_tasks::domains::list::ListDomain;
+//!
+//! let domain = ListDomain::new(0);
+//! assert!(domain.train_tasks().len() >= 40);
+//! let prims = domain.primitives();
+//! let program = dc_lambda::Expr::parse(
+//!     "(lambda (map (lambda (+ $0 1)) $0))", prims).unwrap();
+//! let task = domain.train_tasks().iter().find(|t| t.name == "add1 to each").unwrap();
+//! assert!(task.check(&program));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod domains;
+pub mod task;
+
+pub use domain::Domain;
+pub use task::{io_features, Example, IoOracle, Task, TaskOracle};

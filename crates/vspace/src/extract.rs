@@ -1,0 +1,260 @@
+//! Minimal-cost extraction from version spaces (Fig 5A): `extract(v | D)`
+//! finds `argmin_{ρ ∈ ⟦v⟧} size(ρ | D)`, where members of the library
+//! count as size 1. The optional *candidate* invention is the new routine
+//! being scored during abstraction sleep; any node whose extension
+//! contains the candidate's body may be replaced by the invention at
+//! cost 1.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dc_lambda::expr::{Expr, Invented};
+
+use crate::space::{SpaceArena, SpaceId, SpaceNode};
+
+/// Result of extracting the cheapest member of a space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// `size(expr | D)` with library members (and the candidate) costing 1.
+    pub cost: usize,
+    /// The extracted expression; uses [`Expr::Invented`] where the
+    /// candidate was chosen.
+    pub expr: Expr,
+}
+
+/// Memo table reusable across extractions with the same candidate.
+pub type ExtractionMemo = HashMap<SpaceId, Option<Extraction>>;
+
+/// Memoized membership tester for one candidate expression: answers
+/// "does `⟦v⟧` contain this expression?" across many spaces cheaply.
+#[derive(Debug)]
+pub struct Matcher {
+    expr: Expr,
+    invention: Arc<Invented>,
+    memo: HashMap<(SpaceId, usize), bool>,
+}
+
+impl Matcher {
+    /// Build a matcher for an invention whose body is the expression to
+    /// look for inside version spaces.
+    pub fn new(invention: Arc<Invented>) -> Matcher {
+        Matcher { expr: invention.body.clone(), invention, memo: HashMap::new() }
+    }
+
+    /// The invention this matcher stands for.
+    pub fn invention(&self) -> &Arc<Invented> {
+        &self.invention
+    }
+
+    /// Does `⟦v⟧` contain the candidate's body?
+    pub fn matches(&mut self, arena: &SpaceArena, v: SpaceId) -> bool {
+        let expr = self.expr.clone();
+        self.matches_at(arena, v, &expr)
+    }
+
+    fn matches_at(&mut self, arena: &SpaceArena, v: SpaceId, e: &Expr) -> bool {
+        let key = (v, e as *const Expr as usize);
+        if let Some(&r) = self.memo.get(&key) {
+            return r;
+        }
+        let r = match (arena.node(v), e) {
+            (SpaceNode::Void, _) => false,
+            (SpaceNode::Universe, _) => true,
+            (SpaceNode::Union(ms), _) => {
+                let ms = ms.clone();
+                ms.iter().any(|&m| self.matches_at(arena, m, e))
+            }
+            (SpaceNode::Index(i), Expr::Index(j)) => i == j,
+            (SpaceNode::Terminal(t), _) => t == e,
+            (SpaceNode::Abstraction(b), Expr::Abstraction(eb)) => {
+                let b = *b;
+                self.matches_at(arena, b, eb)
+            }
+            (SpaceNode::Application(f, x), Expr::Application(ef, ex)) => {
+                let (f, x) = (*f, *x);
+                self.matches_at(arena, f, ef) && self.matches_at(arena, x, ex)
+            }
+            _ => false,
+        };
+        self.memo.insert(key, r);
+        r
+    }
+}
+
+impl SpaceArena {
+    /// Extract the minimum-cost inhabitant of `v`.
+    ///
+    /// `candidate` is an optional matcher for a new invention: any node
+    /// whose extension contains the invention's body may be replaced by
+    /// the invention at cost 1. Pass a shared `memo` when extracting many
+    /// spaces against the same candidate.
+    pub fn minimal_inhabitant(
+        &self,
+        v: SpaceId,
+        candidate: Option<&mut Matcher>,
+        memo: &mut ExtractionMemo,
+    ) -> Option<Extraction> {
+        match candidate {
+            Some(m) => self.extract_rec(v, Some(m), memo),
+            None => self.extract_rec(v, None, memo),
+        }
+    }
+
+    fn extract_rec(
+        &self,
+        v: SpaceId,
+        mut candidate: Option<&mut Matcher>,
+        memo: &mut ExtractionMemo,
+    ) -> Option<Extraction> {
+        if let Some(cached) = memo.get(&v) {
+            return cached.clone();
+        }
+        // Never materialize the invention at `Λ`: the universe "contains"
+        // every expression, but an unconstrained slot (an unused redex
+        // argument) should stay unextractable rather than be filled with
+        // an arbitrary routine.
+        let at_universe = matches!(self.node(v), SpaceNode::Universe);
+        let invention_here = match candidate.as_deref_mut() {
+            Some(m) if !at_universe => {
+                if m.matches(self, v) {
+                    Some(Extraction {
+                        cost: 1,
+                        expr: Expr::Invented(Arc::clone(m.invention())),
+                    })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let structural = match self.node(v) {
+            SpaceNode::Void | SpaceNode::Universe => None,
+            SpaceNode::Index(i) => Some(Extraction { cost: 1, expr: Expr::Index(*i) }),
+            SpaceNode::Terminal(e) => Some(Extraction { cost: 1, expr: e.clone() }),
+            SpaceNode::Abstraction(b) => self
+                .extract_rec(*b, candidate.as_deref_mut(), memo)
+                .map(|body| Extraction {
+                    cost: 1 + body.cost,
+                    expr: Expr::abstraction(body.expr),
+                }),
+            SpaceNode::Application(f, x) => {
+                let (f, x) = (*f, *x);
+                let fe = self.extract_rec(f, candidate.as_deref_mut(), memo);
+                let xe = self.extract_rec(x, candidate.as_deref_mut(), memo);
+                match (fe, xe) {
+                    (Some(fe), Some(xe)) => Some(Extraction {
+                        cost: 1 + fe.cost + xe.cost,
+                        expr: Expr::application(fe.expr, xe.expr),
+                    }),
+                    _ => None,
+                }
+            }
+            SpaceNode::Union(ms) => {
+                let ms = ms.clone();
+                let mut best: Option<Extraction> = None;
+                for m in ms {
+                    if let Some(e) = self.extract_rec(m, candidate.as_deref_mut(), memo) {
+                        if best.as_ref().map_or(true, |b| e.cost < b.cost) {
+                            best = Some(e);
+                        }
+                    }
+                }
+                best
+            }
+        };
+        let result = match (invention_here, structural) {
+            (Some(a), Some(b)) => Some(if a.cost <= b.cost { a } else { b }),
+            (a, b) => a.or(b),
+        };
+        memo.insert(v, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::primitives::base_primitives;
+
+    fn parse(s: &str) -> Expr {
+        Expr::parse(s, &base_primitives()).unwrap()
+    }
+
+    #[test]
+    fn extraction_of_singleton_is_identity() {
+        let mut a = SpaceArena::new();
+        let e = parse("(lambda (+ $0 1))");
+        let v = a.incorporate(&e);
+        let got = a.minimal_inhabitant(v, None, &mut ExtractionMemo::new()).unwrap();
+        assert_eq!(got.expr, e);
+        assert_eq!(got.cost, e.size());
+    }
+
+    #[test]
+    fn extraction_prefers_smaller_union_member() {
+        let mut a = SpaceArena::new();
+        let small = parse("0");
+        let big = parse("(+ 0 (+ 0 0))");
+        let vs = a.incorporate(&small);
+        let vb = a.incorporate(&big);
+        let u = a.union([vb, vs]);
+        let got = a.minimal_inhabitant(u, None, &mut ExtractionMemo::new()).unwrap();
+        assert_eq!(got.expr, small);
+    }
+
+    #[test]
+    fn candidate_compresses_refactorings() {
+        // Refactor (+ 1 1); with the invention double = λ (+ $0 $0), the
+        // cheapest member is (double 1) at cost 2.
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let space = a.refactor(&e, 1);
+        let body = parse("(lambda (+ $0 $0))");
+        let inv = Invented::new("#(lambda (+ $0 $0))", body).unwrap();
+        let mut matcher = Matcher::new(inv);
+        let got = a
+            .minimal_inhabitant(space, Some(&mut matcher), &mut ExtractionMemo::new())
+            .unwrap();
+        assert_eq!(got.cost, 3, "expected (double 1), got {}", got.expr);
+        assert_eq!(got.expr.to_string(), "(#(lambda (+ $0 $0)) 1)");
+        // Without the candidate, the original is cheapest.
+        let plain = a.minimal_inhabitant(space, None, &mut ExtractionMemo::new()).unwrap();
+        assert_eq!(plain.expr, e);
+    }
+
+    #[test]
+    fn matcher_finds_bodies_inside_merged_unions() {
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let space = a.refactor(&e, 1);
+        let inv = Invented::new("#d", parse("(lambda (+ $0 $0))")).unwrap();
+        let mut m = Matcher::new(inv);
+        // The abstraction (λ (+ $0 $0)) exists somewhere inside the space
+        // even though bodies were merged into unions.
+        let hit = a.reachable(space).into_iter().any(|id| m.matches(&a, id));
+        assert!(hit, "matcher should find the double body in the space");
+    }
+
+    #[test]
+    fn universe_is_not_extractable() {
+        let mut a = SpaceArena::new();
+        let u = a.universe();
+        assert!(a.minimal_inhabitant(u, None, &mut ExtractionMemo::new()).is_none());
+        let v = a.void();
+        assert!(a.minimal_inhabitant(v, None, &mut ExtractionMemo::new()).is_none());
+    }
+
+    #[test]
+    fn shared_memo_is_consistent_across_spaces() {
+        let mut a = SpaceArena::new();
+        let e1 = parse("(+ 1 1)");
+        let e2 = parse("(+ 0 0)");
+        let s1 = a.refactor(&e1, 1);
+        let s2 = a.refactor(&e2, 1);
+        let mut memo = ExtractionMemo::new();
+        let r1 = a.minimal_inhabitant(s1, None, &mut memo).unwrap();
+        let r2 = a.minimal_inhabitant(s2, None, &mut memo).unwrap();
+        assert_eq!(r1.expr, e1);
+        assert_eq!(r2.expr, e2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Inverse β-reduction over version spaces (Fig 5B–D of the paper).
+//!
+//! * [`SpaceArena::substitutions`] is the `S_k` operator: every way to
+//!   write (a superset of) `⟦v⟧` as a top-level redex `(λ body) value`;
+//! * [`SpaceArena::invert_once`] is `Iβ′`: one inverse β-reduction step,
+//!   applied at the top level and recursively inside the term;
+//! * [`SpaceArena::n_step_inversion`] is `Iβn`: up to `n` chained steps;
+//! * [`SpaceArena::refactor`] is the full `Iβ` of §3.1, which also
+//!   refactors subexpressions independently and compiles the equivalences
+//!   together (the E-graph-inspired construction of Fig 4).
+
+use dc_lambda::expr::Expr;
+
+use crate::space::{SpaceArena, SpaceId, SpaceNode};
+
+impl SpaceArena {
+    /// The substitution operator `S_k` (Fig 5D), returned as a list of
+    /// `(body, value)` pairs meaning the redex `(λ body) value`. Pairs are
+    /// grouped by value: bodies sharing a value are unioned.
+    pub fn substitutions(&mut self, v: SpaceId, k: usize) -> Vec<(SpaceId, SpaceId)> {
+        if let Some(cached) = self.substitution_memo.get(&(v, k)) {
+            return cached.clone();
+        }
+        let mut acc: Vec<(SpaceId, Vec<SpaceId>)> = Vec::new();
+        let push = |arena: &mut SpaceArena,
+                        acc: &mut Vec<(SpaceId, Vec<SpaceId>)>,
+                        value: SpaceId,
+                        body: SpaceId| {
+            if arena.node(value) == &SpaceNode::Void || arena.node(body) == &SpaceNode::Void {
+                return;
+            }
+            if let Some(slot) = acc.iter_mut().find(|(val, _)| *val == value) {
+                slot.1.push(body);
+            } else {
+                acc.push((value, vec![body]));
+            }
+        };
+
+        // Rule 1: abstract the whole subterm — body `$k`, value `↓ᵏ₀ v`.
+        let shifted = self.downshift(v, k, 0);
+        let body_var = self.index(k);
+        push(self, &mut acc, shifted, body_var);
+
+        // Rules of S′_k, by node kind.
+        match self.node(v).clone() {
+            SpaceNode::Void => {}
+            SpaceNode::Universe => {
+                let u = self.universe();
+                push(self, &mut acc, u, u);
+            }
+            SpaceNode::Terminal(_) => {
+                let u = self.universe();
+                push(self, &mut acc, u, v);
+            }
+            SpaceNode::Index(i) => {
+                let u = self.universe();
+                let body = if i < k { self.index(i) } else { self.index(i + 1) };
+                push(self, &mut acc, u, body);
+            }
+            SpaceNode::Abstraction(b) => {
+                for (value, body) in self.substitutions(b, k + 1) {
+                    let lam_body = self.abstraction(body);
+                    push(self, &mut acc, value, lam_body);
+                }
+            }
+            SpaceNode::Application(f, x) => {
+                let fsubs = self.substitutions(f, k);
+                let xsubs = self.substitutions(x, k);
+                for (vf, bf) in &fsubs {
+                    for (vx, bx) in &xsubs {
+                        let value = self.intersect(*vf, *vx);
+                        if self.node(value) == &SpaceNode::Void {
+                            continue;
+                        }
+                        let body = self.application(*bf, *bx);
+                        push(self, &mut acc, value, body);
+                    }
+                }
+            }
+            SpaceNode::Union(ms) => {
+                for m in ms {
+                    for (value, body) in self.substitutions(m, k) {
+                        push(self, &mut acc, value, body);
+                    }
+                }
+            }
+        }
+
+        let mut result: Vec<(SpaceId, SpaceId)> = Vec::with_capacity(acc.len());
+        for (value, bodies) in acc {
+            let body = self.union(bodies);
+            if self.node(value) != &SpaceNode::Void && self.node(body) != &SpaceNode::Void {
+                result.push((value, body));
+            }
+        }
+        self.substitution_memo.insert((v, k), result.clone());
+        result
+    }
+
+    /// One step of inverse β-reduction, `Iβ′` (Fig 5C): top-level redexes
+    /// from `S_0` plus recursive inversion inside abstractions,
+    /// applications, and unions.
+    pub fn invert_once(&mut self, v: SpaceId) -> SpaceId {
+        if let Some(&cached) = self.inversion_memo.get(&v) {
+            return cached;
+        }
+        let mut parts: Vec<SpaceId> = Vec::new();
+        for (value, body) in self.substitutions(v, 0) {
+            // Skip the trivial identity redex (λ $0) v — it β-reduces to v
+            // but teaches the library nothing.
+            if self.node(body) == &SpaceNode::Index(0) {
+                continue;
+            }
+            let lam = self.abstraction(body);
+            let app = self.application(lam, value);
+            parts.push(app);
+        }
+        match self.node(v).clone() {
+            SpaceNode::Abstraction(b) => {
+                let inner = self.invert_once(b);
+                parts.push(self.abstraction(inner));
+            }
+            SpaceNode::Application(f, x) => {
+                let fi = self.invert_once(f);
+                parts.push(self.application(fi, x));
+                let xi = self.invert_once(x);
+                parts.push(self.application(f, xi));
+            }
+            SpaceNode::Union(ms) => {
+                for m in ms {
+                    parts.push(self.invert_once(m));
+                }
+            }
+            _ => {}
+        }
+        let result = self.union(parts);
+        self.inversion_memo.insert(v, result);
+        result
+    }
+
+    /// `Iβn` (Fig 5B): the union of `0..=n` chained inversion steps.
+    pub fn n_step_inversion(&mut self, v: SpaceId, n: usize) -> SpaceId {
+        let mut layers = vec![v];
+        let mut cur = v;
+        for _ in 0..n {
+            cur = self.invert_once(cur);
+            layers.push(cur);
+        }
+        self.union(layers)
+    }
+
+    /// The full refactoring space `Iβ(ρ)` of §3.1: `Iβn` at the root,
+    /// unioned with independently refactored subexpressions, compiling all
+    /// exposed equivalences into one structure (the E-graph effect of
+    /// Fig 4: `(* (+ 1 1) (+ 5 5))` can become `(* (double 1) (double 5))`
+    /// even though that needs two separate inversions).
+    pub fn refactor(&mut self, expr: &Expr, n: usize) -> SpaceId {
+        let children = match expr {
+            Expr::Application(f, x) => {
+                let fs = self.refactor(f, n);
+                let xs = self.refactor(x, n);
+                self.application(fs, xs)
+            }
+            Expr::Abstraction(b) => {
+                let bs = self.refactor(b, n);
+                self.abstraction(bs)
+            }
+            _ => self.void(),
+        };
+        let base = self.incorporate(expr);
+        let inverted = self.n_step_inversion(base, n);
+        self.union([inverted, children])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_lambda::primitives::base_primitives;
+
+    fn parse(s: &str) -> Expr {
+        Expr::parse(s, &base_primitives()).unwrap()
+    }
+
+    /// Every member of the inversion's extension must β-reduce back to the
+    /// original expression (consistency, Theorem G.5).
+    fn assert_consistent(space_members: &[Expr], original: &Expr) {
+        for m in space_members {
+            let nf = m
+                .beta_normal_form(1_000)
+                .unwrap_or_else(|| panic!("no normal form for {m}"));
+            assert_eq!(&nf, original, "refactoring {m} does not reduce to {original}");
+        }
+    }
+
+    #[test]
+    fn invert_once_abstracts_repeated_constant() {
+        // (+ 5 5) refactors to ((λ (+ $0 $0)) 5) among others (Fig 4).
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let v = a.incorporate(&e);
+        let inv = a.invert_once(v);
+        let expected = parse("((lambda (+ $0 $0)) 1)");
+        assert!(
+            a.contains(inv, &expected),
+            "inversion is missing the double refactoring"
+        );
+        // And it is consistent.
+        let members = a.extension_sample(inv, 500);
+        assert!(!members.is_empty());
+        assert_consistent(&members, &e);
+    }
+
+    #[test]
+    fn invert_once_builds_constant_functions() {
+        let mut a = SpaceArena::new();
+        let e = parse("0");
+        let v = a.incorporate(&e);
+        let inv = a.invert_once(v);
+        // (λ 0) Λ: any argument works; sampling skips Λ members, so check
+        // the shape is present by membership of nothing concrete — instead
+        // confirm extension contains programs reducing to 0 only.
+        let members = a.extension_sample(inv, 100);
+        assert_consistent(&members, &e);
+    }
+
+    #[test]
+    fn two_step_inversion_reaches_deeper_refactorings() {
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let v = a.incorporate(&e);
+        let two = a.n_step_inversion(v, 2);
+        // Two steps: ((λ ((λ (+ $0 $0)) $0)) 1) and friends.
+        let members = a.extension_sample(two, 2000);
+        assert_consistent(&members, &e);
+        assert!(a.contains(two, &e), "0-step (identity) member missing");
+    }
+
+    #[test]
+    fn refactor_exposes_shared_structure_across_siblings() {
+        // The paper's Fig-4 motivating case: (* (+ 1 1) (+ 5 5)) with one
+        // step of inversion per subtree exposes (* (double 1) (double 5)).
+        // We use 0/1 constants: (* (+ 0 0) (+ 1 1)).
+        let mut a = SpaceArena::new();
+        let e = parse("(* (+ 0 0) (+ 1 1))");
+        let space = a.refactor(&e, 1);
+        let both_rewritten = parse("(* ((lambda (+ $0 $0)) 0) ((lambda (+ $0 $0)) 1))");
+        assert!(
+            a.contains(space, &both_rewritten),
+            "compiled equivalences should allow rewriting both children"
+        );
+        // Consistency of a sample: every member β-reduces to e.
+        let members = a.extension_sample(space, 500);
+        for m in &members {
+            let nf = m.beta_normal_form(10_000).expect("normal form");
+            assert_eq!(nf, e, "refactoring {m} broke semantics");
+        }
+    }
+
+    #[test]
+    fn refactor_extension_includes_original() {
+        let mut a = SpaceArena::new();
+        let e = parse("(lambda (cons $0 nil))");
+        let space = a.refactor(&e, 2);
+        assert!(a.contains(space, &e));
+    }
+
+    #[test]
+    fn substitutions_group_by_value() {
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let v = a.incorporate(&e);
+        let subs = a.substitutions(v, 0);
+        // Values must be distinct.
+        let mut values: Vec<SpaceId> = subs.iter().map(|(v, _)| *v).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), subs.len());
+        // There must be a substitution whose value is `1` (abstracting the
+        // repeated literal).
+        let one = a.incorporate(&parse("1"));
+        assert!(subs.iter().any(|(v, _)| *v == one));
+    }
+
+    #[test]
+    fn inversion_memoization_is_stable() {
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let v = a.incorporate(&e);
+        let i1 = a.invert_once(v);
+        let i2 = a.invert_once(v);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn node_counts_stay_polynomial_while_extensions_explode() {
+        // A bigger expression: the version space must stay small while
+        // representing a huge number of refactorings (§2.2: "a graph with
+        // 10^6 nodes can represent the 10^14 refactorings").
+        let mut a = SpaceArena::new();
+        let e = parse("(+ (+ 1 (+ 1 1)) (+ (+ 1 1) (+ 1 (+ 1 1))))");
+        let space = a.refactor(&e, 2);
+        let nodes = a.len();
+        let extension = a.extension_count(space, 1e18);
+        assert!(
+            extension > nodes as f64 * 10.0,
+            "extension {extension} should dwarf node count {nodes}"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Algebraic laws of the version-space operations (Definition 3.1/3.2):
+//! union and intersection behave as set union/intersection on extensions,
+//! downshift agrees with expression-level shifting, and substitution
+//! inversion respects the β-reduction semantics.
+
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_vspace::SpaceArena;
+use proptest::prelude::*;
+
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let prims = base_primitives();
+    let leaf = prop_oneof![
+        Just(Expr::parse("0", &prims).unwrap()),
+        Just(Expr::parse("1", &prims).unwrap()),
+    ];
+    let plus = Expr::parse("+", &prims).unwrap();
+    let times = Expr::parse("*", &prims).unwrap();
+    leaf.prop_recursive(3, 10, 2, move |inner| {
+        (
+            prop_oneof![Just(plus.clone()), Just(times.clone())],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| Expr::apply_all(op, [a, b]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ⟦a ⊎ b⟧ = ⟦a⟧ ∪ ⟦b⟧ on concrete expressions.
+    #[test]
+    fn union_extension_is_set_union(a in int_expr(), b in int_expr()) {
+        let mut arena = SpaceArena::new();
+        let va = arena.incorporate(&a);
+        let vb = arena.incorporate(&b);
+        let u = arena.union([va, vb]);
+        prop_assert!(arena.contains(u, &a));
+        prop_assert!(arena.contains(u, &b));
+        let count = arena.extension_count(u, 1e9);
+        let expected = if a == b { 1.0 } else { 2.0 };
+        prop_assert_eq!(count, expected);
+    }
+
+    /// Intersection with self is identity; with a disjoint singleton it
+    /// is empty.
+    #[test]
+    fn intersection_laws(a in int_expr(), b in int_expr()) {
+        let mut arena = SpaceArena::new();
+        let va = arena.incorporate(&a);
+        let vb = arena.incorporate(&b);
+        prop_assert_eq!(arena.intersect(va, va), va);
+        let meet = arena.intersect(va, vb);
+        if a == b {
+            prop_assert_eq!(meet, va);
+        } else {
+            prop_assert_eq!(meet, arena.void());
+        }
+    }
+
+    /// Union is commutative and associative at the id level (hash-consing
+    /// canonicalizes member order).
+    #[test]
+    fn union_is_acommutative(a in int_expr(), b in int_expr(), c in int_expr()) {
+        let mut arena = SpaceArena::new();
+        let va = arena.incorporate(&a);
+        let vb = arena.incorporate(&b);
+        let vc = arena.incorporate(&c);
+        let ab_c = {
+            let ab = arena.union([va, vb]);
+            arena.union([ab, vc])
+        };
+        let a_bc = {
+            let bc = arena.union([vb, vc]);
+            arena.union([va, bc])
+        };
+        prop_assert_eq!(ab_c, a_bc);
+        let ba = arena.union([vb, va]);
+        let ab = arena.union([va, vb]);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Distributivity through application: (f ⊎ g) x ⊇ {f x, g x}.
+    #[test]
+    fn application_distributes_over_union(f in int_expr(), g in int_expr(), x in int_expr()) {
+        let mut arena = SpaceArena::new();
+        let vf = arena.incorporate(&f);
+        let vg = arena.incorporate(&g);
+        let vx = arena.incorporate(&x);
+        let u = arena.union([vf, vg]);
+        let app = arena.application(u, vx);
+        prop_assert!(arena.contains(app, &Expr::application(f.clone(), x.clone())));
+        prop_assert!(arena.contains(app, &Expr::application(g.clone(), x.clone())));
+    }
+
+    /// The substitutions operator really inverts β: every (body, value)
+    /// pair with a concrete body+value reduces back to the original.
+    #[test]
+    fn substitutions_invert_beta(e in int_expr()) {
+        let mut arena = SpaceArena::new();
+        let v = arena.incorporate(&e);
+        for (value, body) in arena.substitutions(v, 0) {
+            let bodies = arena.extension_sample(body, 8);
+            let values = arena.extension_sample(value, 4);
+            for be in &bodies {
+                for ve in &values {
+                    let redex = Expr::application(Expr::abstraction(be.clone()), ve.clone());
+                    let nf = redex.beta_normal_form(10_000);
+                    prop_assert_eq!(
+                        nf.as_ref(),
+                        Some(&e),
+                        "({}) applied to ({}) did not reduce to {}",
+                        be,
+                        ve,
+                        e
+                    );
+                }
+            }
+        }
+    }
+}

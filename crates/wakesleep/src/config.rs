@@ -1,0 +1,201 @@
+//! Configuration for a DreamCoder run.
+
+use dc_grammar::enumeration::EnumerationConfig;
+use dc_recognition::{Objective, Parameterization};
+use dc_vspace::CompressionConfig;
+
+/// Which components are enabled — the experimental conditions of Fig 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// Full DreamCoder: refactoring compression + bigram recognition.
+    Full,
+    /// Ablate the recognition model ("Abstraction only" / No Rec).
+    NoRecognition,
+    /// Ablate library learning ("Dreaming only" / No Lib).
+    NoCompression,
+    /// Incorporate solutions wholesale instead of refactoring (Memorize).
+    Memorize {
+        /// Whether the recognition model still trains.
+        with_recognition: bool,
+    },
+    /// EC-style compression: no refactoring (candidates only from surface
+    /// subtrees, i.e. zero inverse-β steps), no recognition model.
+    Ec,
+    /// Minibatched EC2: subtree-based compression plus a *unigram*
+    /// recognition model trained on the posterior objective.
+    Ec2,
+    /// Pure type-directed enumeration, no learning at all.
+    EnumerationOnly,
+    /// RobustFill-style: train the recognition model on samples from the
+    /// *initial* library only; no library learning.
+    NeuralOnly,
+}
+
+impl Condition {
+    /// Does this condition train a recognition model?
+    pub fn uses_recognition(&self) -> bool {
+        matches!(
+            self,
+            Condition::Full
+                | Condition::NoCompression
+                | Condition::Memorize { with_recognition: true }
+                | Condition::Ec2
+                | Condition::NeuralOnly
+        )
+    }
+
+    /// Does this condition grow the library?
+    pub fn uses_compression(&self) -> bool {
+        matches!(
+            self,
+            Condition::Full
+                | Condition::NoRecognition
+                | Condition::Memorize { .. }
+                | Condition::Ec
+                | Condition::Ec2
+        )
+    }
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Condition::Full => "DreamCoder",
+            Condition::NoRecognition => "No Recognition",
+            Condition::NoCompression => "No Library",
+            Condition::Memorize { with_recognition: true } => "Memorize + Rec",
+            Condition::Memorize { with_recognition: false } => "Memorize",
+            Condition::Ec => "EC",
+            Condition::Ec2 => "EC2 (batched)",
+            Condition::EnumerationOnly => "Enumeration",
+            Condition::NeuralOnly => "Neural synthesis",
+        }
+    }
+}
+
+/// Hyperparameters of the recognition model and dream sleep.
+#[derive(Debug, Clone)]
+pub struct RecognitionConfig {
+    /// Hidden layer width.
+    pub hidden_dim: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs per dream sleep.
+    pub epochs: usize,
+    /// Number of fantasy tasks to dream per cycle.
+    pub fantasies: usize,
+    /// Output head parameterization.
+    pub parameterization: Parameterization,
+    /// Training objective.
+    pub objective: Objective,
+    /// Max depth of sampled fantasy programs.
+    pub sample_depth: usize,
+    /// Appendix Algorithm 3: instead of training on the sampled program
+    /// itself (classic wake-sleep), enumerate briefly on each dreamed task
+    /// and train on the maximum-a-posteriori program that solves it.
+    pub map_fantasies: bool,
+    /// Per-dream enumeration budget when `map_fantasies` is on.
+    pub map_fantasy_timeout: std::time::Duration,
+}
+
+impl Default for RecognitionConfig {
+    fn default() -> RecognitionConfig {
+        RecognitionConfig {
+            hidden_dim: 32,
+            learning_rate: 0.01,
+            epochs: 30,
+            fantasies: 40,
+            parameterization: Parameterization::Bigram,
+            objective: Objective::Map,
+            sample_depth: 10,
+            map_fantasies: false,
+            map_fantasy_timeout: std::time::Duration::from_millis(100),
+        }
+    }
+}
+
+/// Full configuration of a wake/sleep run.
+#[derive(Debug, Clone)]
+pub struct DreamCoderConfig {
+    /// Experimental condition.
+    pub condition: Condition,
+    /// Number of wake/sleep cycles.
+    pub cycles: usize,
+    /// Beam size `|B_x|` (the paper uses 5).
+    pub beam_size: usize,
+    /// How many beam entries per task feed abstraction sleep (≤ beam_size;
+    /// a single-CPU scaling knob — the paper compresses the full beams).
+    pub compression_beam: usize,
+    /// Tasks per wake minibatch (the paper's random minibatching; §2.4).
+    pub minibatch: usize,
+    /// Enumeration budget during waking.
+    pub enumeration: EnumerationConfig,
+    /// Enumeration budget when evaluating held-out tasks.
+    pub test_enumeration: EnumerationConfig,
+    /// Abstraction-sleep hyperparameters.
+    pub compression: CompressionConfig,
+    /// Dream-sleep hyperparameters.
+    pub recognition: RecognitionConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DreamCoderConfig {
+    fn default() -> DreamCoderConfig {
+        DreamCoderConfig {
+            condition: Condition::Full,
+            cycles: 5,
+            beam_size: 5,
+            compression_beam: 5,
+            minibatch: 20,
+            enumeration: EnumerationConfig {
+                timeout: Some(std::time::Duration::from_millis(500)),
+                ..EnumerationConfig::default()
+            },
+            test_enumeration: EnumerationConfig {
+                timeout: Some(std::time::Duration::from_millis(500)),
+                ..EnumerationConfig::default()
+            },
+            compression: CompressionConfig::default(),
+            recognition: RecognitionConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condition_flags_are_consistent() {
+        assert!(Condition::Full.uses_recognition());
+        assert!(Condition::Full.uses_compression());
+        assert!(!Condition::NoRecognition.uses_recognition());
+        assert!(Condition::NoRecognition.uses_compression());
+        assert!(Condition::NoCompression.uses_recognition());
+        assert!(!Condition::NoCompression.uses_compression());
+        assert!(!Condition::EnumerationOnly.uses_recognition());
+        assert!(!Condition::EnumerationOnly.uses_compression());
+        assert!(!Condition::NeuralOnly.uses_compression());
+        assert!(Condition::NeuralOnly.uses_recognition());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Condition::Full.label(),
+            Condition::NoRecognition.label(),
+            Condition::NoCompression.label(),
+            Condition::Memorize { with_recognition: true }.label(),
+            Condition::Memorize { with_recognition: false }.label(),
+            Condition::Ec.label(),
+            Condition::Ec2.label(),
+            Condition::EnumerationOnly.label(),
+            Condition::NeuralOnly.label(),
+        ];
+        let mut sorted = labels.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+    }
+}

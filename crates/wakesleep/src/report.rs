@@ -1,0 +1,149 @@
+//! Plain-text reporting helpers: learning-curve sparklines and aligned
+//! tables for run summaries (used by the figure benchmarks and the CLI).
+
+use crate::run::RunSummary;
+
+/// Render a unicode sparkline for a series in `[0, 1]`.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|v| {
+            let clamped = v.clamp(0.0, 1.0);
+            let idx = ((clamped * (BARS.len() - 1) as f64).round()) as usize;
+            BARS[idx.min(BARS.len() - 1)]
+        })
+        .collect()
+}
+
+/// Render an aligned two-dimensional table. The first row is the header.
+pub fn table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(cell);
+            for _ in cell.chars().count()..widths[i] + 2 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                out.push_str(&"-".repeat(*w));
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One-line learning curve for a run: test accuracy per cycle.
+pub fn learning_curve(summary: &RunSummary) -> String {
+    let series: Vec<f64> = summary.cycles.iter().map(|c| c.test_solved).collect();
+    format!(
+        "{:<18} {} ({:.0}% -> {:.0}%)",
+        summary.condition,
+        sparkline(&series),
+        100.0 * series.first().copied().unwrap_or(0.0),
+        100.0 * series.last().copied().unwrap_or(0.0),
+    )
+}
+
+/// Compare several runs as a table of per-cycle test accuracy.
+pub fn comparison_table(summaries: &[RunSummary]) -> String {
+    let cycles = summaries.iter().map(|s| s.cycles.len()).max().unwrap_or(0);
+    let mut rows = Vec::new();
+    let mut header = vec!["condition".to_owned()];
+    for c in 0..cycles {
+        header.push(format!("cycle {c}"));
+    }
+    header.push("library".to_owned());
+    rows.push(header);
+    for s in summaries {
+        let mut row = vec![s.condition.clone()];
+        for c in 0..cycles {
+            row.push(
+                s.cycles
+                    .get(c)
+                    .map_or_else(|| "-".to_owned(), |st| format!("{:.1}%", 100.0 * st.test_solved)),
+            );
+        }
+        row.push(s.library.len().to_string());
+        rows.push(row);
+    }
+    table(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::CycleStats;
+
+    fn summary(name: &str, accs: &[f64]) -> RunSummary {
+        RunSummary {
+            condition: name.to_owned(),
+            domain: "test".to_owned(),
+            cycles: accs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| CycleStats {
+                    cycle: i,
+                    train_solved: 0,
+                    test_solved: a,
+                    library_size: 10,
+                    library_depth: 0,
+                    mean_solve_time: 0.0,
+                    median_solve_time: 0.0,
+                    new_inventions: vec![],
+                })
+                .collect(),
+            library: vec!["#f".to_owned()],
+            final_test_solved: accs.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(&[
+            vec!["a".into(), "bb".into()],
+            vec!["cccc".into(), "d".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3); // header + rule + row
+        assert!(lines[1].contains('-'));
+    }
+
+    #[test]
+    fn curves_and_comparisons_render() {
+        let a = summary("A", &[0.1, 0.2, 0.4]);
+        let b = summary("B", &[0.1, 0.1, 0.1]);
+        let curve = learning_curve(&a);
+        assert!(curve.contains("A"));
+        assert!(curve.contains("40%"));
+        let cmp = comparison_table(&[a, b]);
+        assert!(cmp.contains("cycle 2"));
+        assert!(cmp.contains("10.0%"));
+    }
+}

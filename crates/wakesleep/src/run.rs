@@ -1,0 +1,377 @@
+//! The full wake/sleep driver (§2.1): iterate waking, abstraction sleep,
+//! and dream sleep over a domain, under any of the experimental
+//! conditions of Fig 7, recording the metrics the paper plots.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dc_grammar::enumeration::EnumerationConfig;
+use dc_grammar::frontier::Frontier;
+use dc_grammar::grammar::Grammar;
+use dc_grammar::inside_outside::fit_grammar;
+use dc_recognition::RecognitionModel;
+use dc_tasks::domain::Domain;
+use dc_tasks::task::Task;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use crate::config::DreamCoderConfig;
+use crate::sleep::{abstraction_sleep, dream_sleep};
+use crate::wake::{search_task, wake, Guide, TaskSearchResult};
+
+/// Per-cycle metrics (the data behind Fig 7A–D).
+#[derive(Debug, Clone, Serialize)]
+pub struct CycleStats {
+    /// Wake/sleep cycle index (0-based).
+    pub cycle: usize,
+    /// Distinct training tasks solved so far (cumulative).
+    pub train_solved: usize,
+    /// Fraction of held-out test tasks solved this cycle.
+    pub test_solved: f64,
+    /// Library size (number of productions).
+    pub library_size: usize,
+    /// Library depth (layers of inventions-calling-inventions).
+    pub library_depth: usize,
+    /// Mean seconds-to-solve over solved test tasks.
+    pub mean_solve_time: f64,
+    /// Median seconds-to-solve over solved test tasks.
+    pub median_solve_time: f64,
+    /// Inventions added this cycle.
+    pub new_inventions: Vec<String>,
+}
+
+/// Summary of a complete run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// The condition's display label.
+    pub condition: String,
+    /// Domain name.
+    pub domain: String,
+    /// Metrics per cycle.
+    pub cycles: Vec<CycleStats>,
+    /// Names of all learned inventions, in discovery order.
+    pub library: Vec<String>,
+    /// Final held-out accuracy.
+    pub final_test_solved: f64,
+}
+
+/// A DreamCoder learning run over one domain.
+pub struct DreamCoder<'d> {
+    domain: &'d dyn Domain,
+    config: DreamCoderConfig,
+    /// Current generative model `(D, θ)`.
+    pub grammar: Grammar,
+    /// Current recognition model, if the condition uses one.
+    pub recognition: Option<RecognitionModel>,
+    /// Best frontiers per train-task index.
+    pub frontiers: HashMap<usize, Frontier>,
+    rng: rand_chacha::ChaCha8Rng,
+    inventions: Vec<String>,
+}
+
+impl<'d> DreamCoder<'d> {
+    /// Set up a run on `domain`.
+    pub fn new(domain: &'d dyn Domain, config: DreamCoderConfig) -> DreamCoder<'d> {
+        let library = domain.initial_library();
+        let grammar = Grammar::uniform(Arc::clone(&library));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+        let recognition = if config.condition.uses_recognition() {
+            Some(RecognitionModel::new(
+                library,
+                domain.feature_dim(),
+                config.recognition.hidden_dim,
+                config.recognition.parameterization,
+                config.recognition.objective,
+                config.recognition.learning_rate,
+                &mut rng,
+            ))
+        } else {
+            None
+        };
+        DreamCoder {
+            domain,
+            config,
+            grammar,
+            recognition,
+            frontiers: HashMap::new(),
+            rng,
+            inventions: Vec::new(),
+        }
+    }
+
+    fn guide_for(&self, task: &Task) -> Guide {
+        match &self.recognition {
+            Some(model) => Guide::Recognition(model.predict(&task.features)),
+            None => Guide::Generative(self.grammar.clone()),
+        }
+    }
+
+    /// One wake phase over a random minibatch; merges new solutions into
+    /// the stored frontiers. Returns the minibatch outcome.
+    pub fn wake_cycle(&mut self) -> Vec<(usize, TaskSearchResult)> {
+        let train = self.domain.train_tasks();
+        let mut indices: Vec<usize> = (0..train.len()).collect();
+        indices.shuffle(&mut self.rng);
+        indices.truncate(self.config.minibatch.max(1));
+        let tasks: Vec<&Task> = indices.iter().map(|&i| &train[i]).collect();
+        let guides: Vec<Guide> = tasks.iter().map(|t| self.guide_for(t)).collect();
+        let results = wake(
+            &tasks,
+            &guides,
+            &self.grammar,
+            self.config.beam_size,
+            &self.config.enumeration,
+        );
+        let paired: Vec<(usize, TaskSearchResult)> =
+            indices.into_iter().zip(results).collect();
+        for (i, result) in &paired {
+            if result.frontier.is_empty() {
+                continue;
+            }
+            let slot = self
+                .frontiers
+                .entry(*i)
+                .or_insert_with(|| Frontier::new(result.frontier.request.clone()));
+            for entry in &result.frontier.entries {
+                slot.insert(entry.clone(), self.config.beam_size);
+            }
+        }
+        paired
+    }
+
+    /// One abstraction sleep over all stored frontiers.
+    pub fn abstraction_cycle(&mut self) -> Vec<String> {
+        if self.frontiers.is_empty() {
+            return Vec::new();
+        }
+        let mut keys: Vec<usize> = self.frontiers.keys().copied().collect();
+        keys.sort_unstable();
+        let fronts: Vec<Frontier> = keys
+            .iter()
+            .map(|k| {
+                let mut f = self.frontiers[k].clone();
+                f.entries.truncate(self.config.compression_beam.max(1));
+                f
+            })
+            .collect();
+        let result = abstraction_sleep(
+            &self.grammar.library,
+            &fronts,
+            &self.config.compression,
+            self.config.condition,
+        );
+        for (k, f) in keys.into_iter().zip(result.frontiers) {
+            self.frontiers.insert(k, f);
+        }
+        self.grammar = result.grammar;
+        let new: Vec<String> =
+            result.steps.iter().map(|s| s.invention.name.clone()).collect();
+        self.inventions.extend(new.clone());
+        // The library changed: rebuild the recognition model's output head
+        // over the new production set, keeping the learned hidden layers.
+        if let Some(old) = self.recognition.take() {
+            let mut rebuilt = old.rebuild_for_library(
+                Arc::clone(&self.grammar.library),
+                self.config.recognition.learning_rate,
+                &mut self.rng,
+            );
+            rebuilt.set_prior_bias(Some(self.grammar.weights.clone()));
+            self.recognition = Some(rebuilt);
+        }
+        new
+    }
+
+    /// One dream sleep (no-op when the condition has no recognition model).
+    pub fn dream_cycle(&mut self) -> Option<crate::sleep::DreamStats> {
+        let model = self.recognition.as_mut()?;
+        let train = self.domain.train_tasks();
+        // NeuralOnly (RobustFill-style) trains on samples from the *initial*
+        // library: its grammar never changes, so this is the same call.
+        let solved: Vec<(&Task, &Frontier)> = self
+            .frontiers
+            .iter()
+            .map(|(&i, f)| (&train[i], f))
+            .collect();
+        Some(dream_sleep(
+            model,
+            self.domain,
+            &self.grammar,
+            &solved,
+            &self.config.recognition,
+            &mut self.rng,
+        ))
+    }
+
+    /// Evaluate on held-out test tasks; returns (fraction solved, solve
+    /// times of solved tasks).
+    pub fn evaluate(&self, tasks: &[Task], config: &EnumerationConfig) -> (f64, Vec<f64>) {
+        if tasks.is_empty() {
+            return (0.0, Vec::new());
+        }
+        use rayon::prelude::*;
+        let results: Vec<TaskSearchResult> = tasks
+            .par_iter()
+            .map(|task| {
+                let guide = self.guide_for(task);
+                search_task(task, &guide, &self.grammar, self.config.beam_size, config)
+            })
+            .collect();
+        let times: Vec<f64> = results.iter().filter_map(|r| r.solve_time).collect();
+        let solved = results.iter().filter(|r| !r.frontier.is_empty()).count();
+        (solved as f64 / tasks.len() as f64, times)
+    }
+
+    /// Run the full wake/sleep loop, returning per-cycle metrics.
+    pub fn run(&mut self) -> RunSummary {
+        let mut cycles = Vec::new();
+        for cycle in 0..self.config.cycles {
+            self.wake_cycle();
+            let mut new_inventions = Vec::new();
+            if self.config.condition.uses_compression() {
+                new_inventions = self.abstraction_cycle();
+            } else if !self.frontiers.is_empty() {
+                // Still re-fit θ to the discovered programs (wake maximizes
+                // ℒ w.r.t. beams; θ update is free).
+                let fronts: Vec<Frontier> = self.frontiers.values().cloned().collect();
+                self.grammar = fit_grammar(
+                    &self.grammar.library,
+                    &fronts,
+                    self.config.compression.pseudocounts,
+                );
+            }
+            if self.config.condition.uses_recognition() {
+                // The network predicts a residual on top of the current
+                // fitted generative weights (see RecognitionModel docs).
+                let bias = self.grammar.weights.clone();
+                if let Some(model) = self.recognition.as_mut() {
+                    model.set_prior_bias(Some(bias));
+                }
+                self.dream_cycle();
+            }
+            let (test_solved, times) =
+                self.evaluate(self.domain.test_tasks(), &self.config.test_enumeration);
+            let mean = if times.is_empty() {
+                0.0
+            } else {
+                times.iter().sum::<f64>() / times.len() as f64
+            };
+            let median = median(&times);
+            cycles.push(CycleStats {
+                cycle,
+                train_solved: self.frontiers.len(),
+                test_solved,
+                library_size: self.grammar.library.len(),
+                library_depth: self.grammar.library.depth(),
+                mean_solve_time: mean,
+                median_solve_time: median,
+                new_inventions,
+            });
+        }
+        let final_test_solved = cycles.last().map_or(0.0, |c| c.test_solved);
+        RunSummary {
+            condition: self.config.condition.label().to_owned(),
+            domain: self.domain.name().to_owned(),
+            cycles,
+            library: self.inventions.clone(),
+            final_test_solved,
+        }
+    }
+}
+
+fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        0.5 * (v[mid - 1] + v[mid])
+    } else {
+        v[mid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Condition;
+    use dc_tasks::domains::list::ListDomain;
+    use std::time::Duration;
+
+    fn quick_config(condition: Condition) -> DreamCoderConfig {
+        DreamCoderConfig {
+            condition,
+            cycles: 2,
+            minibatch: 6,
+            enumeration: EnumerationConfig {
+                timeout: Some(Duration::from_millis(300)),
+                ..EnumerationConfig::default()
+            },
+            test_enumeration: EnumerationConfig {
+                timeout: Some(Duration::from_millis(150)),
+                ..EnumerationConfig::default()
+            },
+            compression: dc_vspace::CompressionConfig {
+                refactor_steps: 1,
+                top_candidates: 20,
+                max_inventions: 2,
+                ..dc_vspace::CompressionConfig::default()
+            },
+            recognition: crate::config::RecognitionConfig {
+                fantasies: 5,
+                epochs: 3,
+                ..crate::config::RecognitionConfig::default()
+            },
+            seed: 1,
+            ..DreamCoderConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_run_makes_progress_on_lists() {
+        let domain = ListDomain::new(0);
+        let mut dc = DreamCoder::new(&domain, quick_config(Condition::Full));
+        let summary = dc.run();
+        assert_eq!(summary.cycles.len(), 2);
+        assert!(
+            summary.cycles.last().unwrap().train_solved > 0,
+            "should solve some easy training tasks"
+        );
+        assert!(summary.cycles.last().unwrap().test_solved > 0.0);
+    }
+
+    #[test]
+    fn enumeration_only_never_learns() {
+        let domain = ListDomain::new(0);
+        let mut dc = DreamCoder::new(&domain, quick_config(Condition::EnumerationOnly));
+        let summary = dc.run();
+        assert!(summary.library.is_empty());
+        let sizes: Vec<usize> = summary.cycles.iter().map(|c| c.library_size).collect();
+        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "library must not grow");
+    }
+
+    #[test]
+    fn memorize_grows_library_without_depth() {
+        let domain = ListDomain::new(0);
+        let mut dc = DreamCoder::new(
+            &domain,
+            quick_config(Condition::Memorize { with_recognition: false }),
+        );
+        let summary = dc.run();
+        let last = summary.cycles.last().unwrap();
+        if last.train_solved > 0 {
+            assert!(last.library_size > domain.initial_library().len());
+            assert!(last.library_depth <= 1, "memorized routines never nest");
+        }
+    }
+
+    #[test]
+    fn median_helper() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The two sleep phases: *abstraction* (grow the library, §3) and
+//! *dreaming* (train the recognition model on replays + fantasies, §4).
+
+use std::sync::Arc;
+
+use dc_grammar::frontier::Frontier;
+use dc_grammar::grammar::Grammar;
+use dc_grammar::inside_outside::fit_grammar;
+use dc_grammar::library::Library;
+use dc_grammar::sample::sample_program_with_retries;
+use dc_lambda::expr::{Expr, Invented};
+use dc_recognition::{replay_example, RecognitionModel, TrainingExample};
+use dc_tasks::domain::Domain;
+use dc_tasks::task::Task;
+use dc_vspace::{compress, CompressionConfig, CompressionResult};
+use rand::Rng;
+
+use crate::config::Condition;
+
+/// Run abstraction sleep under the given experimental condition.
+///
+/// * `Full` / `NoRecognition` — refactoring compression (the paper's).
+/// * `Ec` / `Ec2` — compression with **zero** inverse-β steps: candidates
+///   come only from surface subtrees of the solutions (EC-style).
+/// * `Memorize` — incorporate each task's MAP solution wholesale.
+pub fn abstraction_sleep(
+    library: &Arc<Library>,
+    frontiers: &[Frontier],
+    config: &CompressionConfig,
+    condition: Condition,
+) -> CompressionResult {
+    match condition {
+        Condition::Memorize { .. } => memorize(library, frontiers, config),
+        Condition::Ec | Condition::Ec2 => {
+            let cfg = CompressionConfig { refactor_steps: 0, ..config.clone() };
+            compress(library, frontiers, &cfg)
+        }
+        _ => compress(library, frontiers, config),
+    }
+}
+
+/// The Memorize baseline (§5, cf. [8]): every solved task's best program
+/// becomes a library routine verbatim — no refactoring, no sharing.
+fn memorize(
+    library: &Arc<Library>,
+    frontiers: &[Frontier],
+    config: &CompressionConfig,
+) -> CompressionResult {
+    let mut lib = (**library).clone();
+    let mut steps = Vec::new();
+    for f in frontiers {
+        let Some(best) = f.best() else { continue };
+        let body = best.expr.clone();
+        if body.size() < 2 {
+            continue; // single primitives teach nothing
+        }
+        // Never re-memorize a solution that already calls a memorized (or
+        // otherwise invented) routine — Memorize stores raw solutions only.
+        if body
+            .subexpressions()
+            .iter()
+            .any(|e| matches!(e, Expr::Invented(_)))
+        {
+            continue;
+        }
+        let name = format!("#{body}");
+        if lib.items.iter().any(|it| it.name() == name) {
+            continue;
+        }
+        if let Ok(inv) = Invented::new(&name, body) {
+            lib.push_invented(Arc::clone(&inv));
+            steps.push(dc_vspace::CompressionStep {
+                invention: inv,
+                score_before: 0.0,
+                score_after: 0.0,
+            });
+        }
+    }
+    let lib = Arc::new(lib);
+    // Rewrite each frontier's best entry as a bare call to its memorized
+    // routine, η-expanded so the grammar can score it.
+    let mut new_frontiers: Vec<Frontier> = frontiers.to_vec();
+    for f in &mut new_frontiers {
+        for entry in &mut f.entries {
+            let name = format!("#{}", entry.expr);
+            if let Some(item) = lib.items.iter().find(|it| it.name() == name) {
+                if let Some(long) = dc_grammar::eta_long(&item.expr, &f.request) {
+                    entry.expr = long;
+                }
+            }
+        }
+    }
+    let grammar = fit_grammar(&lib, &new_frontiers, config.pseudocounts);
+    for f in &mut new_frontiers {
+        let request = f.request.clone();
+        f.rescore(|e| grammar.log_prior(&request, e));
+    }
+    CompressionResult { library: lib, grammar, frontiers: new_frontiers, steps }
+}
+
+/// Statistics from one dream sleep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DreamStats {
+    /// Replay examples used.
+    pub replays: usize,
+    /// Fantasy examples used.
+    pub fantasies: usize,
+    /// Mean loss of the final training epoch.
+    pub final_loss: f64,
+}
+
+/// Run dream sleep: train `model` on replays of solved tasks and on
+/// fantasies sampled from the generative model and executed by the domain.
+#[allow(clippy::too_many_arguments)]
+pub fn dream_sleep<R: Rng>(
+    model: &mut RecognitionModel,
+    domain: &dyn Domain,
+    grammar: &Grammar,
+    solved: &[(&Task, &Frontier)],
+    config: &crate::config::RecognitionConfig,
+    rng: &mut R,
+) -> DreamStats {
+    let mut examples: Vec<TrainingExample> = Vec::new();
+    for (task, frontier) in solved {
+        if let Some(ex) = replay_example(task.features.clone(), frontier, model.objective()) {
+            examples.push(ex);
+        }
+    }
+    let replays = examples.len();
+    let requests = domain.dream_requests();
+    let mut made = 0;
+    let mut attempts = 0;
+    while made < config.fantasies && attempts < config.fantasies * 10 {
+        attempts += 1;
+        let request = &requests[rng.gen_range(0..requests.len())];
+        let Some(program) =
+            sample_program_with_retries(grammar, request, rng, config.sample_depth, 10)
+        else {
+            continue;
+        };
+        let Some(task) = domain.dream(&program, request, rng) else {
+            continue;
+        };
+        // Appendix Algorithm 3: with MAP fantasies, the training target is
+        // the maximum-a-posteriori program found by a short enumeration on
+        // the dreamed task, not the sampled program itself.
+        let target = if config.map_fantasies {
+            map_program_for(grammar, &task, config.map_fantasy_timeout).unwrap_or(program)
+        } else {
+            program
+        };
+        examples.push(TrainingExample {
+            features: task.features.clone(),
+            request: request.clone(),
+            programs: vec![(target, 1.0)],
+        });
+        made += 1;
+    }
+    let final_loss = model.train(&examples, config.epochs, rng);
+    DreamStats { replays, fantasies: made, final_loss }
+}
+
+/// Algorithm 3's inner step: enumerate in decreasing prior order and keep
+/// the program maximizing `P[x|rho] P[rho|D,theta]` for the dreamed task.
+fn map_program_for(
+    grammar: &Grammar,
+    task: &Task,
+    timeout: std::time::Duration,
+) -> Option<dc_lambda::expr::Expr> {
+    use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+    let cfg = EnumerationConfig { timeout: Some(timeout), ..EnumerationConfig::default() };
+    let mut best: Option<(dc_lambda::expr::Expr, f64)> = None;
+    enumerate_programs(grammar, &task.request, &cfg, &mut |expr, prior| {
+        let ll = task.oracle.log_likelihood(&expr);
+        if ll.is_finite() {
+            let post = ll + prior;
+            if best.as_ref().map_or(true, |(_, b)| post > *b) {
+                best = Some((expr, post));
+            }
+        }
+        true
+    });
+    best.map(|(e, _)| e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_grammar::frontier::FrontierEntry;
+    use dc_lambda::primitives::base_primitives;
+    use dc_recognition::{Objective, Parameterization};
+    use dc_tasks::domains::list::ListDomain;
+    use dc_lambda::types::{tint, tlist, Type};
+    use rand::SeedableRng;
+
+    fn frontier_for(g: &Grammar, src: &str, request: Type) -> Frontier {
+        let prims = base_primitives();
+        let e = Expr::parse(src, &prims).unwrap();
+        let mut f = Frontier::new(request.clone());
+        f.insert(
+            FrontierEntry {
+                log_prior: g.log_prior(&request, &e),
+                log_likelihood: 0.0,
+                expr: e,
+            },
+            5,
+        );
+        f
+    }
+
+    #[test]
+    fn memorize_adds_whole_programs() {
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        let g = Grammar::uniform(Arc::clone(&lib));
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let frontiers = vec![
+            frontier_for(&g, "(lambda (map (lambda (+ $0 1)) $0))", t.clone()),
+            frontier_for(&g, "(lambda (map (lambda (+ $0 $0)) $0))", t.clone()),
+        ];
+        let result = abstraction_sleep(
+            &lib,
+            &frontiers,
+            &CompressionConfig::default(),
+            Condition::Memorize { with_recognition: false },
+        );
+        assert_eq!(result.steps.len(), 2, "both solutions memorized verbatim");
+        assert_eq!(result.library.len(), lib.len() + 2);
+        // Memorized frontiers collapse to a single call of the routine.
+        for f in &result.frontiers {
+            assert!(f.entries[0].expr.size() <= 4, "got {}", f.entries[0].expr);
+        }
+    }
+
+    #[test]
+    fn ec_condition_uses_no_refactoring() {
+        // With refactor_steps = 0 the map body (a surface subtree) can
+        // still be proposed, but refactoring-only candidates cannot.
+        let prims = base_primitives();
+        let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+        let g = Grammar::uniform(Arc::clone(&lib));
+        let t = tint();
+        // (+ 1 1) and (+ 0 0) share "double" only via refactoring, so EC
+        // must NOT find it.
+        let frontiers = vec![
+            frontier_for(&g, "(+ 1 1)", t.clone()),
+            frontier_for(&g, "(+ 0 0)", t.clone()),
+        ];
+        let cfg = CompressionConfig {
+            structure_penalty: 0.1,
+            top_candidates: 50,
+            ..CompressionConfig::default()
+        };
+        let result = abstraction_sleep(&lib, &frontiers, &cfg, Condition::Ec);
+        assert!(
+            result.steps.is_empty(),
+            "EC should not discover refactoring-only abstractions: {:?}",
+            result.steps.iter().map(|s| s.invention.name.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dream_sleep_trains_on_replays_and_fantasies() {
+        let domain = ListDomain::new(0);
+        let lib = domain.initial_library();
+        let g = Grammar::uniform(Arc::clone(&lib));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut model = RecognitionModel::new(
+            Arc::clone(&lib),
+            domain.feature_dim(),
+            16,
+            Parameterization::Bigram,
+            Objective::Map,
+            0.01,
+            &mut rng,
+        );
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let f = frontier_for(&g, "(lambda (map (lambda (+ $0 1)) $0))", t);
+        let task = &domain.train_tasks()[0];
+        let rcfg = crate::config::RecognitionConfig {
+            fantasies: 10,
+            epochs: 3,
+            ..crate::config::RecognitionConfig::default()
+        };
+        let stats = dream_sleep(&mut model, &domain, &g, &[(task, &f)], &rcfg, &mut rng);
+        assert_eq!(stats.replays, 1);
+        assert!(stats.fantasies > 0, "expected some fantasies to execute");
+        assert!(stats.final_loss.is_finite());
+    }
+}

@@ -1,0 +1,50 @@
+//! # DreamCoder-rs
+//!
+//! A from-scratch Rust reproduction of **DreamCoder: Bootstrapping
+//! Inductive Program Synthesis with Wake-Sleep Library Learning**
+//! (Ellis et al., PLDI 2021).
+//!
+//! DreamCoder inputs a corpus of synthesis problems, each specified by a
+//! few examples, and jointly learns
+//!
+//! 1. a **library** of reusable program components (via version-space
+//!    refactoring and MDL compression — "abstraction sleep", [`vspace`]);
+//! 2. a **neural search policy** mapping tasks to bigram transition
+//!    tensors over that library ("dream sleep", [`recognition`]);
+//!
+//! which bootstrap each other through the wake/sleep loop in
+//! [`wakesleep`].
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`lambda`] | typed λ-calculus: terms, Hindley–Milner types, fuel-limited evaluation |
+//! | [`grammar`] | probabilistic grammars `P[ρ\|D,θ]`, best-first enumeration, sampling |
+//! | [`vspace`] | version spaces, inverse β-reduction, library compression |
+//! | [`recognition`] | the MLP recognition model emitting `Q_ijk` tensors |
+//! | [`tasks`] | the eight evaluation domains + their simulator substrates |
+//! | [`wakesleep`] | the wake/sleep driver, baselines, and metrics |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dreamcoder::tasks::domains::list::ListDomain;
+//! use dreamcoder::wakesleep::{DreamCoder, DreamCoderConfig};
+//!
+//! let domain = ListDomain::new(0);
+//! let mut dc = DreamCoder::new(&domain, DreamCoderConfig::default());
+//! let summary = dc.run();
+//! for invention in &summary.library {
+//!     println!("learned {invention}");
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dc_grammar as grammar;
+pub use dc_lambda as lambda;
+pub use dc_recognition as recognition;
+pub use dc_tasks as tasks;
+pub use dc_vspace as vspace;
+pub use dc_wakesleep as wakesleep;

@@ -1,0 +1,207 @@
+//! `dreamcoder` — command-line driver for the DreamCoder-rs reproduction.
+//!
+//! ```sh
+//! dreamcoder run --domain list --cycles 4 --condition full --wake-ms 700
+//! dreamcoder domains
+//! dreamcoder solve --domain list --task "add1 to each" --timeout-ms 3000
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dreamcoder::grammar::enumeration::EnumerationConfig;
+use dreamcoder::grammar::Grammar;
+use dreamcoder::tasks::domains::list::ListDomain;
+use dreamcoder::tasks::domains::logo::LogoDomain;
+use dreamcoder::tasks::domains::origami::OrigamiDomain;
+use dreamcoder::tasks::domains::physics::PhysicsDomain;
+use dreamcoder::tasks::domains::regex::RegexDomain;
+use dreamcoder::tasks::domains::symreg::SymRegDomain;
+use dreamcoder::tasks::domains::text::TextDomain;
+use dreamcoder::tasks::domains::tower::TowerDomain;
+use dreamcoder::tasks::Domain;
+use dreamcoder::wakesleep::{search_task, Condition, DreamCoder, DreamCoderConfig, Guide};
+use std::sync::Arc;
+
+const DOMAINS: &[&str] = &[
+    "list", "text", "logo", "tower", "regex", "symreg", "physics", "origami",
+];
+
+fn make_domain(name: &str, seed: u64) -> Option<Box<dyn Domain>> {
+    Some(match name {
+        "list" => Box::new(ListDomain::new(seed)),
+        "text" => Box::new(TextDomain::new(seed)),
+        "logo" => Box::new(LogoDomain::new(seed)),
+        "tower" => Box::new(TowerDomain::new(seed)),
+        "regex" => Box::new(RegexDomain::new(seed)),
+        "symreg" => Box::new(SymRegDomain::new(seed)),
+        "physics" => Box::new(PhysicsDomain::new(seed)),
+        "origami" => Box::new(OrigamiDomain::new(seed)),
+        _ => return None,
+    })
+}
+
+fn parse_condition(name: &str) -> Option<Condition> {
+    Some(match name {
+        "full" => Condition::Full,
+        "no-recognition" | "no-rec" => Condition::NoRecognition,
+        "no-compression" | "no-lib" => Condition::NoCompression,
+        "memorize" => Condition::Memorize { with_recognition: false },
+        "memorize-rec" => Condition::Memorize { with_recognition: true },
+        "ec" => Condition::Ec,
+        "ec2" => Condition::Ec2,
+        "enumeration" => Condition::EnumerationOnly,
+        "neural" => Condition::NeuralOnly,
+        _ => return None,
+    })
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> Option<String> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .cloned()
+    }
+    fn flag_u64(&self, name: &str, default: u64) -> u64 {
+        self.flag(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n\
+         dreamcoder run --domain <name> [--cycles N] [--condition full|no-rec|no-lib|memorize|ec|ec2|enumeration|neural]\n\
+         \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N]\n\
+         dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
+         dreamcoder domains"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().cloned() else {
+        return usage();
+    };
+    let args = Args(argv);
+    match cmd.as_str() {
+        "domains" => {
+            println!("available domains:");
+            for name in DOMAINS {
+                let d = make_domain(name, 0).expect("known");
+                println!(
+                    "  {name:<8} {:>3} train / {:>2} test tasks, {} primitives",
+                    d.train_tasks().len(),
+                    d.test_tasks().len(),
+                    d.primitives().len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let Some(domain_name) = args.flag("--domain") else { return usage() };
+            let Some(domain) = make_domain(&domain_name, args.flag_u64("--seed", 0)) else {
+                eprintln!("unknown domain {domain_name:?}; try `dreamcoder domains`");
+                return ExitCode::FAILURE;
+            };
+            let condition = match args.flag("--condition") {
+                None => Condition::Full,
+                Some(c) => match parse_condition(&c) {
+                    Some(c) => c,
+                    None => {
+                        eprintln!("unknown condition {c:?}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            let config = DreamCoderConfig {
+                condition,
+                cycles: args.flag_u64("--cycles", 3) as usize,
+                minibatch: args.flag_u64("--minibatch", 12) as usize,
+                enumeration: EnumerationConfig {
+                    timeout: Some(Duration::from_millis(args.flag_u64("--wake-ms", 700))),
+                    ..EnumerationConfig::default()
+                },
+                test_enumeration: EnumerationConfig {
+                    timeout: Some(Duration::from_millis(args.flag_u64("--test-ms", 300))),
+                    ..EnumerationConfig::default()
+                },
+                seed: args.flag_u64("--seed", 0),
+                ..DreamCoderConfig::default()
+            };
+            let mut dc = DreamCoder::new(domain.as_ref(), config);
+            let summary = dc.run();
+            println!(
+                "{} on {}: final held-out accuracy {:.1}%",
+                summary.condition,
+                summary.domain,
+                100.0 * summary.final_test_solved
+            );
+            for c in &summary.cycles {
+                println!(
+                    "  cycle {}: train {} test {:.1}% |D|={} depth={}",
+                    c.cycle,
+                    c.train_solved,
+                    100.0 * c.test_solved,
+                    c.library_size,
+                    c.library_depth
+                );
+                for inv in &c.new_inventions {
+                    println!("    invented {inv}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "solve" => {
+            let Some(domain_name) = args.flag("--domain") else { return usage() };
+            let Some(task_name) = args.flag("--task") else { return usage() };
+            let Some(domain) = make_domain(&domain_name, 0) else {
+                eprintln!("unknown domain {domain_name:?}");
+                return ExitCode::FAILURE;
+            };
+            let Some(task) = domain
+                .train_tasks()
+                .iter()
+                .chain(domain.test_tasks())
+                .find(|t| t.name == task_name)
+            else {
+                eprintln!("no task named {task_name:?}; available:");
+                for t in domain.train_tasks().iter().chain(domain.test_tasks()) {
+                    eprintln!("  {:?}", t.name);
+                }
+                return ExitCode::FAILURE;
+            };
+            let grammar = Grammar::uniform(Arc::clone(&domain.initial_library()));
+            let config = EnumerationConfig {
+                timeout: Some(Duration::from_millis(args.flag_u64("--timeout-ms", 5000))),
+                ..EnumerationConfig::default()
+            };
+            let result =
+                search_task(task, &Guide::Generative(grammar.clone()), &grammar, 5, &config);
+            match result.frontier.best() {
+                Some(best) => {
+                    println!(
+                        "solved {:?} in {:.2}s after {} programs:\n  {}",
+                        task.name,
+                        result.solve_time.unwrap_or_default(),
+                        result.programs_enumerated,
+                        best.expr
+                    );
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    println!(
+                        "not solved within budget ({} programs tried)",
+                        result.programs_enumerated
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the domain substrates: the tower stage's stacking
+//! physics, the LOGO rasterizer, and the probabilistic regex scorer.
+
+use dreamcoder::tasks::domains::logo::{rasterize, Segment, CANVAS};
+use dreamcoder::tasks::domains::regex::Regex;
+use dreamcoder::tasks::domains::tower::TowerState;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every dropped block rests on the ground or on a supporting block
+    /// whose top is exactly at its bottom.
+    #[test]
+    fn tower_blocks_are_always_supported(
+        moves in prop::collection::vec((0i64..8, any::<bool>()), 1..20)
+    ) {
+        let mut stage = TowerState::new();
+        for (dx, horizontal) in moves {
+            stage.hand = dx;
+            stage.drop_block(horizontal).unwrap();
+        }
+        for (i, b) in stage.blocks.iter().enumerate() {
+            if b.y == 0 {
+                continue;
+            }
+            let supported = stage.blocks.iter().take(i).any(|other| {
+                let (l, r) = (b.x, b.x + b.width());
+                let (ol, or) = (other.x, other.x + other.width());
+                l < or && ol < r && other.y + other.height() == b.y
+            });
+            prop_assert!(supported, "block {i} floats at y={}", b.y);
+        }
+    }
+
+    /// No two blocks occupy the same cell.
+    #[test]
+    fn tower_blocks_never_interpenetrate(
+        moves in prop::collection::vec((0i64..8, any::<bool>()), 1..16)
+    ) {
+        let mut stage = TowerState::new();
+        for (dx, horizontal) in moves {
+            stage.hand = dx;
+            stage.drop_block(horizontal).unwrap();
+        }
+        let mut cells = std::collections::HashSet::new();
+        for b in &stage.blocks {
+            for x in b.x..b.x + b.width() {
+                for y in b.y..b.y + b.height() {
+                    prop_assert!(
+                        cells.insert((x, y)),
+                        "cell ({x},{y}) occupied twice"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Rasterization stays in bounds and marks both endpoints of any
+    /// in-canvas segment.
+    #[test]
+    fn rasterizer_is_bounded_and_covers_endpoints(
+        x1 in -6.0f64..6.0, y1 in -6.0f64..6.0,
+        x2 in -6.0f64..6.0, y2 in -6.0f64..6.0,
+    ) {
+        let seg = Segment { from: (x1, y1), to: (x2, y2) };
+        let pixels = rasterize(&[seg]);
+        prop_assert!(!pixels.is_empty());
+        for &(px, py) in &pixels {
+            prop_assert!((px as usize) < CANVAS && (py as usize) < CANVAS);
+        }
+        let to_pixel = |x: f64, y: f64| {
+            let scale = CANVAS as f64 / 16.0;
+            (((x + 8.0) * scale).floor() as u8, ((y + 8.0) * scale).floor() as u8)
+        };
+        prop_assert!(pixels.contains(&to_pixel(x1, y1)));
+        prop_assert!(pixels.contains(&to_pixel(x2, y2)));
+    }
+
+    /// Regex sampling and scoring agree: a sample drawn from a regex has
+    /// finite log-probability under it.
+    #[test]
+    fn regex_samples_score_finite(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        // digits, optional sign, star suffix: covers class/maybe/star/concat
+        let regex = Regex::Concat(
+            Arc::new(Regex::Maybe(Arc::new(Regex::Const('-')))),
+            Arc::new(Regex::Concat(
+                Arc::new(Regex::Digit),
+                Arc::new(Regex::Star(Arc::new(Regex::Digit))),
+            )),
+        );
+        let mut s = String::new();
+        let mut budget = 40usize;
+        regex.sample(&mut rng, &mut s, &mut budget);
+        prop_assume!(budget > 0); // sample not truncated
+        prop_assert!(
+            regex.log_prob(&s).is_finite(),
+            "sample {s:?} scored -inf"
+        );
+    }
+
+    /// Probabilities are really probabilities: for a regex with finitely
+    /// many outputs, the exponentiated log-probs sum to 1.
+    #[test]
+    fn regex_distribution_normalizes(c1 in proptest::char::range('a', 'c')) {
+        // (c1 | d)(x)? has exactly 4 outcomes.
+        let regex = Regex::Concat(
+            Arc::new(Regex::Or(
+                Arc::new(Regex::Const(c1)),
+                Arc::new(Regex::Const('d')),
+            )),
+            Arc::new(Regex::Maybe(Arc::new(Regex::Const('x')))),
+        );
+        let outcomes = [
+            format!("{c1}"),
+            format!("{c1}x"),
+            "d".to_owned(),
+            "dx".to_owned(),
+        ];
+        let total: f64 = outcomes.iter().map(|s| regex.log_prob(s).exp()).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sum = {total}");
+    }
+}

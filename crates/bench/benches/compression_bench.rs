@@ -28,7 +28,11 @@ fn bench_compress(c: &mut Criterion) {
             let e = Expr::parse(src, &prims).unwrap();
             let mut f = Frontier::new(t.clone());
             f.insert(
-                FrontierEntry { log_prior: g.log_prior(&t, &e), log_likelihood: 0.0, expr: e },
+                FrontierEntry {
+                    log_prior: g.log_prior(&t, &e),
+                    log_likelihood: 0.0,
+                    expr: e,
+                },
                 5,
             );
             f

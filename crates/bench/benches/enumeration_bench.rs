@@ -14,7 +14,12 @@ fn bench_enumeration(c: &mut Criterion) {
     let unigram = Grammar::uniform(Arc::clone(&lib));
     let bigram = ContextualGrammar::uniform(Arc::clone(&lib));
     let request = Type::arrow(tlist(tint()), tint());
-    let cfg = EnumerationConfig { budget_start: 9.0, budget_step: 1.0, max_budget: 9.0, ..Default::default() };
+    let cfg = EnumerationConfig {
+        budget_start: 9.0,
+        budget_step: 1.0,
+        max_budget: 9.0,
+        ..Default::default()
+    };
 
     c.bench_function("enumerate_unigram_9nats", |b| {
         b.iter(|| {

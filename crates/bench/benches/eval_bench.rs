@@ -16,10 +16,10 @@ fn bench_eval(c: &mut Criterion) {
     .unwrap();
     let input = Value::list((0..20).map(Value::Int).collect());
     c.bench_function("eval_map_20", |b| {
-        b.iter(|| run_program(&map_prog, &[input.clone()], 100_000).unwrap())
+        b.iter(|| run_program(&map_prog, std::slice::from_ref(&input), 100_000).unwrap())
     });
     c.bench_function("eval_fix_sum_20", |b| {
-        b.iter(|| run_program(&fix_prog, &[input.clone()], 100_000).unwrap())
+        b.iter(|| run_program(&fix_prog, std::slice::from_ref(&input), 100_000).unwrap())
     });
 }
 

@@ -16,10 +16,18 @@ fn bench_recognition(c: &mut Criterion) {
     let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
     let model = RecognitionModel::new(
-        Arc::clone(&lib), 64, 32, Parameterization::Bigram, Objective::Map, 0.01, &mut rng,
+        Arc::clone(&lib),
+        64,
+        32,
+        Parameterization::Bigram,
+        Objective::Map,
+        0.01,
+        &mut rng,
     );
     let features = vec![0.1; 64];
-    c.bench_function("recognition_predict", |b| b.iter(|| model.predict(&features)));
+    c.bench_function("recognition_predict", |b| {
+        b.iter(|| model.predict(&features))
+    });
 
     let example = TrainingExample {
         features: features.clone(),

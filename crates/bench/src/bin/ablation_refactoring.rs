@@ -44,7 +44,11 @@ fn main() {
             let e = Expr::parse(src, &prims).unwrap();
             let mut f = Frontier::new(t.clone());
             f.insert(
-                FrontierEntry { log_prior: g.log_prior(&t, &e), log_likelihood: 0.0, expr: e },
+                FrontierEntry {
+                    log_prior: g.log_prior(&t, &e),
+                    log_likelihood: 0.0,
+                    expr: e,
+                },
                 5,
             );
             f
@@ -68,9 +72,16 @@ fn main() {
         let started = Instant::now();
         let result = compress(&lib, &frontiers, &cfg);
         let secs = started.elapsed().as_secs_f64();
-        let after: usize = result.frontiers.iter().map(|f| f.entries[0].expr.size()).sum();
-        let names: Vec<String> =
-            result.steps.iter().map(|s| s.invention.name.clone()).collect();
+        let after: usize = result
+            .frontiers
+            .iter()
+            .map(|f| f.entries[0].expr.size())
+            .sum();
+        let names: Vec<String> = result
+            .steps
+            .iter()
+            .map(|s| s.invention.name.clone())
+            .collect();
         println!(
             "{:<4} {:>9.2}s {:>7} -> {:>3} {:>9.0}%   {}",
             n,
@@ -78,7 +89,11 @@ fn main() {
             before,
             after,
             100.0 * (before - after) as f64 / before as f64,
-            if names.is_empty() { "(none)".to_owned() } else { names.join("  ") }
+            if names.is_empty() {
+                "(none)".to_owned()
+            } else {
+                names.join("  ")
+            }
         );
         rows.push(Row {
             refactor_steps: n,

@@ -4,7 +4,6 @@
 //! Also reports the Fig 7A metric for this domain: posterior-predictive
 //! log-likelihood per character of held-out strings.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
@@ -26,18 +25,17 @@ struct ConceptResult {
 }
 
 /// Search for the MAP regex for a task under a grammar.
-fn map_regex(
-    grammar: &Grammar,
-    task: &dc_tasks::Task,
-    timeout: Duration,
-) -> Option<(Expr, f64)> {
-    let cfg = EnumerationConfig { timeout: Some(timeout), ..EnumerationConfig::default() };
+fn map_regex(grammar: &Grammar, task: &dc_tasks::Task, timeout: Duration) -> Option<(Expr, f64)> {
+    let cfg = EnumerationConfig {
+        timeout: Some(timeout),
+        ..EnumerationConfig::default()
+    };
     let mut best: Option<(Expr, f64)> = None;
     enumerate_programs(grammar, &task.request, &cfg, &mut |e, prior| {
         let ll = task.oracle.log_likelihood(&e);
         if ll.is_finite() {
             let post = ll + prior;
-            if best.as_ref().map_or(true, |(_, b)| post > *b) {
+            if best.as_ref().is_none_or(|(_, b)| post > *b) {
                 best = Some((e, post));
             }
         }
@@ -52,7 +50,11 @@ fn main() {
 
     // Train the three conditions briefly on the training concepts.
     let mut grammars: Vec<(String, Grammar)> = Vec::new();
-    for condition in [Condition::Full, Condition::NoCompression, Condition::NoRecognition] {
+    for condition in [
+        Condition::Full,
+        Condition::NoCompression,
+        Condition::NoRecognition,
+    ] {
         let mut config = dc_bench::bench_config(condition, 0);
         config.cycles = 2;
         config.minibatch = domain.train_tasks().len();
@@ -97,8 +99,11 @@ fn main() {
                         regex.sample(&mut rng, &mut s, &mut budget);
                         samples.push(s);
                     }
-                    let chars: usize =
-                        held_out.iter().map(|s| s.chars().count()).sum::<usize>().max(1);
+                    let chars: usize = held_out
+                        .iter()
+                        .map(|s| s.chars().count())
+                        .sum::<usize>()
+                        .max(1);
                     let ll: f64 = held_out.iter().map(|s| regex.log_prob(s)).sum();
                     let per_char = ll / chars as f64;
                     println!(

@@ -111,10 +111,12 @@ fn main() {
             max_inventions: 4,
             ..dc_vspace::CompressionConfig::default()
         };
-        let result =
-            dc_wakesleep::abstraction_sleep(&library, &frontiers, &cfg, condition);
-        let inventions: Vec<String> =
-            result.steps.iter().map(|s| s.invention.name.clone()).collect();
+        let result = dc_wakesleep::abstraction_sleep(&library, &frontiers, &cfg, condition);
+        let inventions: Vec<String> = result
+            .steps
+            .iter()
+            .map(|s| s.invention.name.clone())
+            .collect();
         let fix_wrappers = inventions.iter().filter(|i| i.contains("fix")).count();
         println!(
             "{:<16} invented {} routines ({} wrap fix):",
@@ -140,7 +142,13 @@ fn main() {
             if seeded.contains(&task.name.as_str()) {
                 continue;
             }
-            let r = search_task(task, &Guide::Generative(grammar.clone()), &grammar, 1, &search);
+            let r = search_task(
+                task,
+                &Guide::Generative(grammar.clone()),
+                &grammar,
+                1,
+                &search,
+            );
             if let Some(best) = r.frontier.best() {
                 newly_solved.push(format!("{} := {}", task.name, best.expr));
             }

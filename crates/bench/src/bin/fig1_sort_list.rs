@@ -83,7 +83,12 @@ fn main() {
     println!("sort [3,9,1,7] = {out:?} (ascending: index i maps to the\n  (n-1-i)-th largest)\n");
     assert_eq!(
         out,
-        Value::list(vec![Value::Int(1), Value::Int(3), Value::Int(7), Value::Int(9)])
+        Value::list(vec![
+            Value::Int(1),
+            Value::Int(3),
+            Value::Int(7),
+            Value::Int(9)
+        ])
     );
 
     let in_library = sort.body.size();
@@ -120,9 +125,7 @@ fn main() {
     let programs_needed = nats.exp();
     let years = programs_needed / rate / (3600.0 * 24.0 * 365.0);
     println!("\nmeasured enumeration rate: {rate:.0} programs/sec");
-    println!(
-        "estimated brute-force time for the base-language form: {years:.2e} years"
-    );
+    println!("estimated brute-force time for the base-language form: {years:.2e} years");
     println!(
         "\npaper's shape: the learned-library solution is found in minutes while\n\
          the base-language equivalent (32 calls) would take >10^72 years of\n\

@@ -28,7 +28,10 @@ fn main() {
     println!("program B (decrement every element):\n  {decrement_all}\n");
 
     // E3: version-space economics per program.
-    println!("{:<10} {:>6} {:>12} {:>22} {:>12}", "steps n", "size", "nodes", "refactorings", "time");
+    println!(
+        "{:<10} {:>6} {:>12} {:>22} {:>12}",
+        "steps n", "size", "nodes", "refactorings", "time"
+    );
     for n in 1..=3 {
         let e = Expr::parse(double_all, &prims).unwrap();
         let mut arena = SpaceArena::new();
@@ -90,7 +93,11 @@ fn main() {
     for (f, label) in result.frontiers.iter().zip(["A", "B"]) {
         let e = &f.entries[0].expr;
         println!("  {label}: {e}  (size {} vs original {})", e.size(), {
-            let orig = if label == "A" { double_all } else { decrement_all };
+            let orig = if label == "A" {
+                double_all
+            } else {
+                decrement_all
+            };
             Expr::parse(orig, &prims).unwrap().size()
         });
     }

@@ -25,8 +25,7 @@ fn has_plus_zero(e: &Expr) -> bool {
     e.subexpressions().iter().any(|s| {
         if let Expr::Application(f, x) = s {
             if let Expr::Application(g, y) = &**f {
-                return g.to_string() == "+"
-                    && (y.to_string() == "0" || x.to_string() == "0");
+                return g.to_string() == "+" && (y.to_string() == "0" || x.to_string() == "0");
             }
         }
         false
@@ -102,31 +101,24 @@ fn main() {
 
     let mut report = Vec::new();
     println!("== Fig 6: symmetry breaking needs bigrams + L_MAP ==\n");
-    println!(
-        "{:<22} {:>24} {:>8}",
-        "regime", "% dominant-assoc", "% +0"
-    );
+    println!("{:<22} {:>24} {:>8}", "regime", "% dominant-assoc", "% +0");
     for (param, pname) in [
         (Parameterization::Unigram, "Unigram"),
         (Parameterization::Bigram, "Bigram"),
     ] {
         for (obj, oname) in [(Objective::Posterior, "L_post"), (Objective::Map, "L_MAP")] {
-            let mut model = RecognitionModel::new(
-                Arc::clone(&library),
-                8,
-                16,
-                param,
-                obj,
-                0.02,
-                &mut rng,
-            );
+            let mut model =
+                RecognitionModel::new(Arc::clone(&library), 8, 16, param, obj, 0.02, &mut rng);
             let mut examples = Vec::new();
             for (&v, progs) in &maps {
                 let programs = match obj {
                     Objective::Map => vec![(progs[0].0.clone(), 1.0)],
                     Objective::Posterior => {
                         let z: f64 = progs.iter().map(|(_, lp)| lp.exp()).sum();
-                        progs.iter().map(|(e, lp)| (e.clone(), lp.exp() / z)).collect()
+                        progs
+                            .iter()
+                            .map(|(e, lp)| (e.clone(), lp.exp() / z))
+                            .collect()
                     }
                 };
                 examples.push(TrainingExample {
@@ -146,9 +138,7 @@ fn main() {
             while total < 500 {
                 let v = rng.gen_range(0..=6);
                 let q = model.predict(&features(v));
-                if let Some(e) =
-                    sample_program_with_retries(&q, &tint(), &mut rng, 10, 20)
-                {
+                if let Some(e) = sample_program_with_retries(&q, &tint(), &mut rng, 10, 20) {
                     total += 1;
                     let (r, l) = associativity(&e);
                     right += r;

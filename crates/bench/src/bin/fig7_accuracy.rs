@@ -31,8 +31,7 @@ fn run_condition(domain: &dyn Domain, condition: Condition, seeds: u64) -> Row {
     }
     let accs: Vec<f64> = runs.iter().map(|r| r.final_test_solved).collect();
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-    let var =
-        accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
+    let var = accs.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / accs.len() as f64;
     let last = runs.last().and_then(|r| r.cycles.last());
     Row {
         domain: domain.name().to_owned(),
@@ -72,8 +71,12 @@ fn main() {
             Condition::Full,
             Condition::NoRecognition,
             Condition::NoCompression,
-            Condition::Memorize { with_recognition: true },
-            Condition::Memorize { with_recognition: false },
+            Condition::Memorize {
+                with_recognition: true,
+            },
+            Condition::Memorize {
+                with_recognition: false,
+            },
             Condition::NeuralOnly,
             Condition::EnumerationOnly,
         ],
@@ -87,7 +90,10 @@ fn main() {
         domains.push(Box::new(TextDomain::new(0)));
     }
 
-    println!("== Fig 7{} : held-out accuracy by condition ==\n", panel.to_uppercase());
+    println!(
+        "== Fig 7{} : held-out accuracy by condition ==\n",
+        panel.to_uppercase()
+    );
     let mut rows = Vec::new();
     for domain in &domains {
         println!("domain: {}", domain.name());

@@ -52,7 +52,12 @@ fn main() {
     for p in &points {
         println!(
             "{:<6} {:<16} {:>5} {:>6} {:>5} {:>7.1}%",
-            p.domain, p.condition, p.cycle, p.depth, p.size, 100.0 * p.test_solved
+            p.domain,
+            p.condition,
+            p.cycle,
+            p.depth,
+            p.size,
+            100.0 * p.test_solved
         );
     }
 

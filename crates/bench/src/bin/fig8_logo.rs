@@ -35,7 +35,9 @@ fn dream_gallery(grammar: &Grammar, domain: &LogoDomain, seed: u64, n: usize) ->
         let Some(p) = sample_program_with_retries(grammar, &request, &mut rng, 10, 10) else {
             continue;
         };
-        let Ok(state) = run_logo_program(&p, 30_000) else { continue };
+        let Ok(state) = run_logo_program(&p, 30_000) else {
+            continue;
+        };
         let pixels = rasterize(&state.segments);
         if pixels.len() >= 4 {
             shown.push(format!("{p}\n{}", ascii(&pixels)));
@@ -69,8 +71,9 @@ fn main() {
     let mut config = dc_bench::bench_config(Condition::NoRecognition, 0);
     config.cycles = 3;
     config.minibatch = domain.train_tasks().len();
-    config.enumeration.timeout =
-        Some(std::time::Duration::from_millis((2000.0 * dc_bench::scale()) as u64));
+    config.enumeration.timeout = Some(std::time::Duration::from_millis(
+        (2000.0 * dc_bench::scale()) as u64,
+    ));
     let mut dc = DreamCoder::new(&domain, config);
     let summary = dc.run();
 

@@ -23,9 +23,9 @@ fn ascii(blocks: &BTreeSet<Block>) -> String {
     let mut out = String::new();
     for y in (0..max_y).rev() {
         for x in min_x..max_x {
-            let hit = blocks.iter().any(|b| {
-                x >= b.x && x < b.x + b.width() && y >= b.y && y < b.y + b.height()
-            });
+            let hit = blocks
+                .iter()
+                .any(|b| x >= b.x && x < b.x + b.width() && y >= b.y && y < b.y + b.height());
             out.push(if hit { '#' } else { '.' });
         }
         out.push('\n');
@@ -43,7 +43,9 @@ fn dream_gallery(grammar: &Grammar, domain: &TowerDomain, seed: u64, n: usize) -
         let Some(p) = sample_program_with_retries(grammar, &request, &mut rng, 10, 10) else {
             continue;
         };
-        let Ok(state) = run_tower_program(&p, 30_000) else { continue };
+        let Ok(state) = run_tower_program(&p, 30_000) else {
+            continue;
+        };
         let blocks = state.block_set();
         if blocks.len() >= 2 {
             shown.push(format!("{p}\n{}", ascii(&blocks)));
@@ -77,8 +79,9 @@ fn main() {
     let mut config = dc_bench::bench_config(Condition::NoRecognition, 0);
     config.cycles = 3;
     config.minibatch = domain.train_tasks().len();
-    config.enumeration.timeout =
-        Some(std::time::Duration::from_millis((2000.0 * dc_bench::scale()) as u64));
+    config.enumeration.timeout = Some(std::time::Duration::from_millis(
+        (2000.0 * dc_bench::scale()) as u64,
+    ));
     let mut dc = DreamCoder::new(&domain, config);
     let summary = dc.run();
 

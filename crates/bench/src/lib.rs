@@ -30,8 +30,11 @@ pub fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// A laptop-scale configuration for figure benchmarks.
+/// A laptop-scale configuration for figure benchmarks. Also switches the
+/// telemetry subsystem on, so every figure binary's `write_report` call
+/// drops a `results/telemetry.json` beside its JSON report.
 pub fn bench_config(condition: Condition, seed: u64) -> DreamCoderConfig {
+    dc_telemetry::enable();
     let s = scale();
     DreamCoderConfig {
         condition,
@@ -85,6 +88,13 @@ pub fn write_report<T: serde::Serialize>(name: &str, value: &T) {
             }
         }
         Err(e) => eprintln!("could not serialize report: {e}"),
+    }
+    // Drop the metrics captured while producing this report next to it.
+    if dc_telemetry::is_enabled() {
+        let tpath = dir.join("telemetry.json");
+        if dc_telemetry::export_to_file(&tpath).is_ok() {
+            println!("[telemetry written to {}]", tpath.display());
+        }
     }
 }
 

@@ -54,9 +54,11 @@ pub fn enumerate_programs(
 ) -> usize {
     let started = Instant::now();
     let mut emitted = 0usize;
+    let mut windows = 0u64;
     let mut lower = 0.0;
     let mut upper = config.budget_start;
     'outer: while lower < config.max_budget {
+        windows += 1;
         let mut ctx = Context::starting_after(request);
         let deadline = config.timeout.map(|t| started + t);
         let keep_going = enum_request(
@@ -85,6 +87,14 @@ pub fn enumerate_programs(
         }
         lower = upper;
         upper += config.budget_step;
+    }
+    // One batched update per run, not per program: the inner loop stays
+    // free of atomics even with telemetry enabled.
+    if dc_telemetry::is_enabled() {
+        dc_telemetry::add("enumeration.programs", emitted as u64);
+        dc_telemetry::add("enumeration.budget_windows", windows);
+        dc_telemetry::incr("enumeration.runs");
+        dc_telemetry::record_duration("enumeration.run_time", started.elapsed());
     }
     emitted
 }
@@ -267,11 +277,18 @@ mod tests {
     fn enumerates_in_decreasing_prior_order_within_window() {
         let (g, _) = grammar();
         let progs = enumerate_top(&g, &tint(), &EnumerationConfig::default(), 200);
-        assert!(progs.len() >= 100, "expected many int programs, got {}", progs.len());
+        assert!(
+            progs.len() >= 100,
+            "expected many int programs, got {}",
+            progs.len()
+        );
         // Description length (=-ll) must be nondecreasing across windows
         // up to window granularity; check the coarse property: first
         // program is among the cheapest.
-        let best = progs.iter().map(|(_, ll)| *ll).fold(f64::NEG_INFINITY, f64::max);
+        let best = progs
+            .iter()
+            .map(|(_, ll)| *ll)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert!(progs[0].1 >= best - 6.0);
     }
 
@@ -349,7 +366,10 @@ mod tests {
         let t = Type::arrow(tint(), tint());
         let progs = enumerate_top(&g, &t, &EnumerationConfig::default(), 50);
         for (e, _) in &progs {
-            assert!(matches!(e, Expr::Abstraction(_)), "expected lambda, got {e}");
+            assert!(
+                matches!(e, Expr::Abstraction(_)),
+                "expected lambda, got {e}"
+            );
         }
     }
 }

@@ -67,7 +67,8 @@ fn eta(expr: &Expr, request: Type, ctx: &mut Context, env: &mut Vec<Type>) -> Op
             None => {
                 let a = ctx.fresh_variable();
                 let b = ctx.fresh_variable();
-                ctx.unify(&head_ty, &Type::arrow(a.clone(), b.clone())).ok()?;
+                ctx.unify(&head_ty, &Type::arrow(a.clone(), b.clone()))
+                    .ok()?;
                 arg_tys.push(a);
                 head_ty = b;
             }
@@ -107,7 +108,10 @@ mod tests {
         let long = eta_long(&e, &t).unwrap();
         // Fully η-long: the arrow-typed variable argument is itself
         // expanded to a λ.
-        assert_eq!(long.to_string(), "(lambda (lambda (map (lambda ($2 $0)) $0)))");
+        assert_eq!(
+            long.to_string(),
+            "(lambda (lambda (map (lambda ($2 $0)) $0)))"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub struct Frontier {
 impl Frontier {
     /// An empty frontier for a request type.
     pub fn new(request: Type) -> Frontier {
-        Frontier { request, entries: Vec::new() }
+        Frontier {
+            request,
+            entries: Vec::new(),
+        }
     }
 
     /// True when no programs have been found.
@@ -66,7 +69,11 @@ impl Frontier {
 
     /// Normalized posterior weights over the beam (sums to 1).
     pub fn posterior_weights(&self) -> Vec<f64> {
-        let lps: Vec<f64> = self.entries.iter().map(FrontierEntry::log_posterior).collect();
+        let lps: Vec<f64> = self
+            .entries
+            .iter()
+            .map(FrontierEntry::log_posterior)
+            .collect();
         let z = logsumexp(&lps);
         lps.into_iter().map(|lp| (lp - z).exp()).collect()
     }
@@ -74,7 +81,11 @@ impl Frontier {
     /// The beam's contribution to the lower bound `ℒ` (Eq. 3):
     /// `log Σ_{ρ∈B_x} P[x|ρ] P[ρ|D,θ]`.
     pub fn log_evidence(&self) -> f64 {
-        let lps: Vec<f64> = self.entries.iter().map(FrontierEntry::log_posterior).collect();
+        let lps: Vec<f64> = self
+            .entries
+            .iter()
+            .map(FrontierEntry::log_posterior)
+            .collect();
         logsumexp(&lps)
     }
 

@@ -37,7 +37,10 @@ impl Grammar {
     /// A uniform grammar over the given library.
     pub fn uniform(library: Arc<Library>) -> Grammar {
         let n = library.len();
-        Grammar { library, weights: WeightVector::uniform(n) }
+        Grammar {
+            library,
+            weights: WeightVector::uniform(n),
+        }
     }
 
     /// Log-prior of an eta-long program at the given request type
@@ -76,7 +79,11 @@ impl ContextualGrammar {
         let max_arity = library.max_arity().max(1);
         let rows = BigramParent::row_count(n);
         let table = vec![WeightVector::uniform(n); rows * max_arity];
-        ContextualGrammar { library, max_arity, table }
+        ContextualGrammar {
+            library,
+            max_arity,
+            table,
+        }
     }
 
     /// Index into the table for a (parent, arg) context.
@@ -136,6 +143,9 @@ pub fn candidates(
 ) -> Vec<Candidate> {
     let weights = prior.weights(parent, arg);
     let mut out = Vec::new();
+    // Count unification failures locally; one batched counter update per
+    // call keeps the hole-expansion hot path off shared atomics.
+    let mut unify_failures = 0u64;
     // Bound variables.
     for (i, env_ty) in env.iter().enumerate() {
         let mut c = ctx.clone();
@@ -150,6 +160,8 @@ pub fn candidates(
                 child_parent: BigramParent::Var,
                 production: None,
             });
+        } else {
+            unify_failures += 1;
         }
     }
     // Library productions.
@@ -166,7 +178,12 @@ pub fn candidates(
                 child_parent: BigramParent::Prod(j),
                 production: Some(j),
             });
+        } else {
+            unify_failures += 1;
         }
+    }
+    if unify_failures > 0 && dc_telemetry::is_enabled() {
+        dc_telemetry::add("enumeration.unification_failures", unify_failures);
     }
     let z = logsumexp(&out.iter().map(|c| c.log_prob).collect::<Vec<_>>());
     for c in &mut out {
@@ -333,7 +350,10 @@ mod tests {
         let (g, prims) = setup();
         // Partial application `(+ 1)` is not eta-long at int -> int.
         let e = Expr::parse("(+ 1)", &prims).unwrap();
-        assert_eq!(g.log_prior(&Type::arrow(tint(), tint()), &e), f64::NEG_INFINITY);
+        assert_eq!(
+            g.log_prior(&Type::arrow(tint(), tint()), &e),
+            f64::NEG_INFINITY
+        );
     }
 
     #[test]
@@ -353,7 +373,10 @@ mod tests {
         // Three choices: `+`, `$0`, `1`.
         assert_eq!(events.len(), 3);
         assert_eq!(events[0].parent, BigramParent::Start);
-        let plus_idx = g.library.position(&Expr::parse("+", &prims).unwrap()).unwrap();
+        let plus_idx = g
+            .library
+            .position(&Expr::parse("+", &prims).unwrap())
+            .unwrap();
         assert_eq!(events[0].chosen, Some(plus_idx));
         assert_eq!(events[1].parent, BigramParent::Prod(plus_idx));
         assert_eq!(events[1].arg, 0);
@@ -365,12 +388,18 @@ mod tests {
     fn contextual_grammar_can_forbid_bigrams() {
         let (g, prims) = setup();
         let mut cg = ContextualGrammar::uniform(Arc::clone(&g.library));
-        let plus = g.library.position(&Expr::parse("+", &prims).unwrap()).unwrap();
-        let zero = g.library.position(&Expr::parse("0", &prims).unwrap()).unwrap();
+        let plus = g
+            .library
+            .position(&Expr::parse("+", &prims).unwrap())
+            .unwrap();
+        let zero = g
+            .library
+            .position(&Expr::parse("0", &prims).unwrap())
+            .unwrap();
         // Forbid `0` as either argument of `+`.
         for arg in 0..2 {
-            cg.weights_mut(BigramParent::Prod(plus), arg).log_productions[zero] =
-                f64::NEG_INFINITY;
+            cg.weights_mut(BigramParent::Prod(plus), arg)
+                .log_productions[zero] = f64::NEG_INFINITY;
         }
         let t = tint();
         let add_zero = Expr::parse("(+ 0 1)", &prims).unwrap();

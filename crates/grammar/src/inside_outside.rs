@@ -19,7 +19,10 @@ struct Counts {
 
 impl Counts {
     fn new(n: usize) -> Counts {
-        Counts { variable: 0.0, productions: vec![0.0; n] }
+        Counts {
+            variable: 0.0,
+            productions: vec![0.0; n],
+        }
     }
 }
 
@@ -38,7 +41,12 @@ pub fn fit_grammar(library: &Arc<Library>, frontiers: &[Frontier], pseudocount: 
     });
     let mut g = Grammar::uniform(Arc::clone(library));
     g.weights.log_variable = (pseudocount + counts.variable).ln();
-    for (w, c) in g.weights.log_productions.iter_mut().zip(&counts.productions) {
+    for (w, c) in g
+        .weights
+        .log_productions
+        .iter_mut()
+        .zip(&counts.productions)
+    {
         *w = (pseudocount + c).ln();
     }
     g

@@ -21,13 +21,19 @@ impl LibraryItem {
     /// Wrap a primitive.
     pub fn from_primitive(p: Arc<Primitive>) -> LibraryItem {
         let ty = p.ty.clone();
-        LibraryItem { expr: Expr::Primitive(p), ty }
+        LibraryItem {
+            expr: Expr::Primitive(p),
+            ty,
+        }
     }
 
     /// Wrap an invented routine.
     pub fn from_invented(inv: Arc<Invented>) -> LibraryItem {
         let ty = inv.ty.clone();
-        LibraryItem { expr: Expr::Invented(inv), ty }
+        LibraryItem {
+            expr: Expr::Invented(inv),
+            ty,
+        }
     }
 
     /// Display name of the item.
@@ -53,7 +59,9 @@ pub struct Library {
 impl Library {
     /// Build a library from primitives.
     pub fn from_primitives(prims: impl IntoIterator<Item = Arc<Primitive>>) -> Library {
-        Library { items: prims.into_iter().map(LibraryItem::from_primitive).collect() }
+        Library {
+            items: prims.into_iter().map(LibraryItem::from_primitive).collect(),
+        }
     }
 
     /// Number of items.
@@ -86,7 +94,11 @@ impl Library {
     /// "library depth" metric (Fig 7C). Primitives are depth 0; an
     /// invention's depth is 1 + max depth of the inventions its body uses.
     pub fn depth(&self) -> usize {
-        self.items.iter().map(|it| Library::item_depth(&it.expr)).max().unwrap_or(0)
+        self.items
+            .iter()
+            .map(|it| Library::item_depth(&it.expr))
+            .max()
+            .unwrap_or(0)
     }
 
     fn item_depth(expr: &Expr) -> usize {
@@ -167,7 +179,10 @@ pub struct WeightVector {
 impl WeightVector {
     /// Uniform weights for a library of `n` productions.
     pub fn uniform(n: usize) -> WeightVector {
-        WeightVector { log_variable: 0.0, log_productions: vec![0.0; n] }
+        WeightVector {
+            log_variable: 0.0,
+            log_productions: vec![0.0; n],
+        }
     }
 }
 

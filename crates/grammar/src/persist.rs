@@ -95,12 +95,10 @@ pub fn load_grammar(saved: &SavedGrammar, prims: &PrimitiveSet) -> Result<Gramma
         items.push(LibraryItem::from_primitive(p));
     }
     for src in &saved.inventions {
-        let body = Expr::parse(src, prims)
-            .map_err(|e| LoadError::BadInvention(src.clone(), e))?;
+        let body = Expr::parse(src, prims).map_err(|e| LoadError::BadInvention(src.clone(), e))?;
         let name = format!("#{body}");
-        let inv = Invented::new(&name, body).map_err(|e| {
-            LoadError::BadInvention(src.clone(), ParseError::new(e.to_string()))
-        })?;
+        let inv = Invented::new(&name, body)
+            .map_err(|e| LoadError::BadInvention(src.clone(), ParseError::new(e.to_string())))?;
         items.push(LibraryItem::from_invented(inv));
     }
     let library = Arc::new(Library { items });

@@ -11,7 +11,9 @@ pub struct ParseError {
 impl ParseError {
     /// Create a parse error with the given message.
     pub fn new(message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -47,7 +49,10 @@ impl EvalError {
 
     /// A kind-mismatch error.
     pub fn type_error(expected: &'static str, found: &crate::eval::Value) -> EvalError {
-        EvalError::TypeMismatch { expected, found: format!("{found:?}") }
+        EvalError::TypeMismatch {
+            expected,
+            found: format!("{found:?}"),
+        }
     }
 }
 

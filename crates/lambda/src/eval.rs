@@ -62,7 +62,10 @@ impl Value {
 
     /// Build an opaque domain value.
     pub fn opaque<T: Any + Send + Sync>(tag: &'static str, data: T) -> Value {
-        Value::Opaque { tag, data: Arc::new(data) }
+        Value::Opaque {
+            tag,
+            data: Arc::new(data),
+        }
     }
 
     /// Extract an integer.
@@ -177,7 +180,13 @@ impl fmt::Debug for Value {
             Value::List(l) => f.debug_list().entries(l.iter()).finish(),
             Value::Closure { body, .. } => write!(f, "<closure {body}>"),
             Value::Partial { prim, args } => {
-                write!(f, "<{}/{} applied to {}>", prim.name, prim.arity(), args.len())
+                write!(
+                    f,
+                    "<{}/{} applied to {}>",
+                    prim.name,
+                    prim.arity(),
+                    args.len()
+                )
             }
             Value::Opaque { tag, .. } => write!(f, "<{tag}>"),
         }
@@ -188,9 +197,7 @@ impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Real(a), Value::Real(b)) => {
-                (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan())
-            }
+            (Value::Real(a), Value::Real(b)) => (a - b).abs() < 1e-9 || (a.is_nan() && b.is_nan()),
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Char(a), Value::Char(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
@@ -220,7 +227,10 @@ impl Env {
 
     /// Extend with a new innermost binding. O(1); shares the tail.
     pub fn push(&self, v: Value) -> Env {
-        Env(Some(Arc::new(EnvNode { head: v, tail: self.clone() })))
+        Env(Some(Arc::new(EnvNode {
+            head: v,
+            tail: self.clone(),
+        })))
     }
 
     /// Look up de Bruijn index `i`.
@@ -277,7 +287,13 @@ pub struct EvalCtx {
 impl EvalCtx {
     /// A context with the given step budget.
     pub fn with_fuel(fuel: u64) -> EvalCtx {
-        EvalCtx { fuel, depth: 0, max_depth: 700, max_list_len: 10_000, max_str_len: 10_000 }
+        EvalCtx {
+            fuel,
+            depth: 0,
+            max_depth: 700,
+            max_list_len: 10_000,
+            max_str_len: 10_000,
+        }
     }
 
     fn enter(&mut self) -> Result<(), EvalError> {
@@ -336,7 +352,10 @@ impl EvalCtx {
                 // Inventions are closed, so evaluate under the empty env.
                 self.eval(&inv.body, &Env::new())
             }
-            Expr::Abstraction(b) => Ok(Value::Closure { body: Arc::clone(b), env: env.clone() }),
+            Expr::Abstraction(b) => Ok(Value::Closure {
+                body: Arc::clone(b),
+                env: env.clone(),
+            }),
             Expr::Application(_, _) => {
                 // Collect the application spine for lazy control primitives.
                 let mut spine = Vec::new();
@@ -372,7 +391,10 @@ impl EvalCtx {
     fn primitive_value(&mut self, p: &Arc<Primitive>) -> Result<Value, EvalError> {
         match &p.sem {
             Semantics::Constant(v) => Ok(v.clone()),
-            _ => Ok(Value::Partial { prim: Arc::clone(p), args: Vec::new() }),
+            _ => Ok(Value::Partial {
+                prim: Arc::clone(p),
+                args: Vec::new(),
+            }),
         }
     }
 
@@ -406,15 +428,21 @@ impl EvalCtx {
                         // Reached only when `if` escapes first-order position
                         // (e.g. passed to map); args are already evaluated.
                         let cond = args[0].as_bool()?;
-                        Ok(if cond { args[1].clone() } else { args[2].clone() })
+                        Ok(if cond {
+                            args[1].clone()
+                        } else {
+                            args[2].clone()
+                        })
                     }
                     Semantics::Fix => {
                         // (fix f) x  =  f (fix f) x
                         self.burn(1)?;
                         let f = args[0].clone();
                         let x = args[1].clone();
-                        let recur =
-                            Value::Partial { prim: Arc::clone(&prim), args: vec![f.clone()] };
+                        let recur = Value::Partial {
+                            prim: Arc::clone(&prim),
+                            args: vec![f.clone()],
+                        };
                         let step = self.apply(f, recur)?;
                         self.apply(step, x)
                     }
@@ -429,6 +457,19 @@ impl EvalCtx {
     /// # Errors
     /// See [`EvalCtx::eval`].
     pub fn run(&mut self, program: &Expr, inputs: &[Value]) -> Result<Value, EvalError> {
+        let result = self.run_inner(program, inputs);
+        if dc_telemetry::is_enabled() {
+            dc_telemetry::incr("eval.runs");
+            match &result {
+                Ok(_) => {}
+                Err(EvalError::FuelExhausted) => dc_telemetry::incr("eval.fuel_exhausted"),
+                Err(_) => dc_telemetry::incr("eval.errors"),
+            }
+        }
+        result
+    }
+
+    fn run_inner(&mut self, program: &Expr, inputs: &[Value]) -> Result<Value, EvalError> {
         let mut v = self.eval(program, &Env::new())?;
         for inp in inputs {
             v = self.apply(v, inp.clone())?;
@@ -458,17 +499,17 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(run("(+ 1 1)", &[]).unwrap(), Value::Int(2));
-        assert_eq!(run("(* (+ 1 1) (+ 1 (+ 1 1)))", &[]).unwrap(), Value::Int(6));
+        assert_eq!(
+            run("(* (+ 1 1) (+ 1 (+ 1 1)))", &[]).unwrap(),
+            Value::Int(6)
+        );
         assert_eq!(run("(- 0 1)", &[]).unwrap(), Value::Int(-1));
     }
 
     #[test]
     fn conditional_is_lazy() {
         // The dead branch divides by zero; laziness means no error.
-        assert_eq!(
-            run("(if true 1 (mod 1 0))", &[]).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(run("(if true 1 (mod 1 0))", &[]).unwrap(), Value::Int(1));
         assert!(run("(if false 1 (mod 1 0))", &[]).is_err());
     }
 

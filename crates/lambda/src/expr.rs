@@ -13,6 +13,10 @@ use crate::error::{EvalError, ParseError};
 use crate::eval::{EvalCtx, Value};
 use crate::types::{Context, Type};
 
+/// The implementation of a strict primitive: evaluated arguments in, value
+/// out, with evaluator access for higher-order primitives.
+pub type PrimitiveFn = dyn Fn(&[Value], &mut EvalCtx) -> Result<Value, EvalError> + Send + Sync;
+
 /// Semantics of a primitive: either a constant value or a strict n-ary
 /// function over evaluated arguments (which may re-enter the evaluator, e.g.
 /// `map` applying its function argument).
@@ -21,7 +25,7 @@ pub enum Semantics {
     /// A constant (e.g. the number `0`, the empty list `nil`).
     Constant(Value),
     /// A strict function of `arity` evaluated arguments.
-    Function(Arc<dyn Fn(&[Value], &mut EvalCtx) -> Result<Value, EvalError> + Send + Sync>),
+    Function(Arc<PrimitiveFn>),
     /// Lazy conditional: `(if c a b)` evaluates `c`, then only one branch.
     If,
     /// Fixed point combinator: `(fix f) x` unrolls to `f (fix f) x`.
@@ -53,7 +57,11 @@ pub struct Primitive {
 impl Primitive {
     /// Create a constant primitive.
     pub fn constant(name: &str, ty: Type, value: Value) -> Arc<Primitive> {
-        Arc::new(Primitive { name: name.to_owned(), ty, sem: Semantics::Constant(value) })
+        Arc::new(Primitive {
+            name: name.to_owned(),
+            ty,
+            sem: Semantics::Constant(value),
+        })
     }
 
     /// Create a strict function primitive.
@@ -61,7 +69,11 @@ impl Primitive {
     where
         F: Fn(&[Value], &mut EvalCtx) -> Result<Value, EvalError> + Send + Sync + 'static,
     {
-        Arc::new(Primitive { name: name.to_owned(), ty, sem: Semantics::Function(Arc::new(f)) })
+        Arc::new(Primitive {
+            name: name.to_owned(),
+            ty,
+            sem: Semantics::Function(Arc::new(f)),
+        })
     }
 
     /// The number of arguments the primitive consumes before its semantics
@@ -102,7 +114,11 @@ impl Invented {
     /// Fails if `body` does not typecheck.
     pub fn new(name: &str, body: Expr) -> Result<Arc<Invented>, crate::types::UnificationError> {
         let ty = body.infer()?.canonicalize();
-        Ok(Arc::new(Invented { name: name.to_owned(), body, ty }))
+        Ok(Arc::new(Invented {
+            name: name.to_owned(),
+            body,
+            ty,
+        }))
     }
 }
 
@@ -195,11 +211,7 @@ impl Expr {
 
     fn collect_free(&self, depth: usize, out: &mut Vec<usize>) {
         match self {
-            Expr::Index(i) => {
-                if *i >= depth {
-                    out.push(i - depth);
-                }
-            }
+            Expr::Index(i) if *i >= depth => out.push(i - depth),
             Expr::Abstraction(b) => b.collect_free(depth + 1, out),
             Expr::Application(f, x) => {
                 f.collect_free(depth, out);
@@ -262,10 +274,9 @@ impl Expr {
                 let shifted = value.shift(1).expect("shifting up cannot fail");
                 Expr::abstraction(b.substitute(index + 1, &shifted))
             }
-            Expr::Application(f, x) => Expr::application(
-                f.substitute(index, value),
-                x.substitute(index, value),
-            ),
+            Expr::Application(f, x) => {
+                Expr::application(f.substitute(index, value), x.substitute(index, value))
+            }
         }
     }
 
@@ -537,7 +548,9 @@ fn expect(tokens: &[String], pos: &mut usize, want: &str) -> Result<(), ParseErr
             *pos += 1;
             Ok(())
         }
-        other => Err(ParseError::new(format!("expected {want:?}, found {other:?}"))),
+        other => Err(ParseError::new(format!(
+            "expected {want:?}, found {other:?}"
+        ))),
     }
 }
 
@@ -602,7 +615,10 @@ mod tests {
     #[test]
     fn infer_simple_types() {
         let e = parse("(lambda (+ $0 1))");
-        assert_eq!(e.infer().unwrap().canonicalize(), Type::arrow(tint(), tint()));
+        assert_eq!(
+            e.infer().unwrap().canonicalize(),
+            Type::arrow(tint(), tint())
+        );
         let m = parse("(lambda (map (lambda (+ $0 $0)) $0))");
         assert_eq!(
             m.infer().unwrap().canonicalize(),
@@ -646,7 +662,10 @@ mod tests {
         let k = Expr::parse("(lambda (lambda $1))", &prims).unwrap();
         let app = Expr::apply_all(
             k,
-            [Expr::parse("0", &prims).unwrap(), Expr::parse("1", &prims).unwrap()],
+            [
+                Expr::parse("0", &prims).unwrap(),
+                Expr::parse("1", &prims).unwrap(),
+            ],
         );
         assert_eq!(app.beta_normal_form(10).unwrap().to_string(), "0");
     }

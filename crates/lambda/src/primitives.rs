@@ -78,10 +78,15 @@ impl FromIterator<Arc<Primitive>> for PrimitiveSet {
     }
 }
 
-fn int2(name: &str, f: impl Fn(i64, i64) -> Result<i64, EvalError> + Send + Sync + 'static) -> Arc<Primitive> {
-    Primitive::function(name, Type::arrows(vec![tint(), tint()], tint()), move |args, _| {
-        Ok(Value::Int(f(args[0].as_int()?, args[1].as_int()?)?))
-    })
+fn int2(
+    name: &str,
+    f: impl Fn(i64, i64) -> Result<i64, EvalError> + Send + Sync + 'static,
+) -> Arc<Primitive> {
+    Primitive::function(
+        name,
+        Type::arrows(vec![tint(), tint()], tint()),
+        move |args, _| Ok(Value::Int(f(args[0].as_int()?, args[1].as_int()?)?)),
+    )
 }
 
 fn int_pred(name: &str, f: impl Fn(i64) -> bool + Send + Sync + 'static) -> Arc<Primitive> {
@@ -94,7 +99,10 @@ fn int_pred(name: &str, f: impl Fn(i64) -> bool + Send + Sync + 'static) -> Arc<
 pub fn prim_map() -> Arc<Primitive> {
     Primitive::function(
         "map",
-        Type::arrows(vec![Type::arrow(tvar(0), tvar(1)), tlist(tvar(0))], tlist(tvar(1))),
+        Type::arrows(
+            vec![Type::arrow(tvar(0), tvar(1)), tlist(tvar(0))],
+            tlist(tvar(1)),
+        ),
         |args, ctx| {
             let f = args[0].clone();
             let items = args[1].as_list()?.to_vec();
@@ -199,13 +207,17 @@ pub fn prim_car() -> Arc<Primitive> {
 
 /// `cdr : list(t0) -> list(t0)`; errors on the empty list.
 pub fn prim_cdr() -> Arc<Primitive> {
-    Primitive::function("cdr", Type::arrow(tlist(tvar(0)), tlist(tvar(0))), |args, _| {
-        let l = args[0].as_list()?;
-        if l.is_empty() {
-            return Err(EvalError::runtime("cdr of empty list"));
-        }
-        Ok(Value::list(l[1..].to_vec()))
-    })
+    Primitive::function(
+        "cdr",
+        Type::arrow(tlist(tvar(0)), tlist(tvar(0))),
+        |args, _| {
+            let l = args[0].as_list()?;
+            if l.is_empty() {
+                return Err(EvalError::runtime("cdr of empty list"));
+            }
+            Ok(Value::list(l[1..].to_vec()))
+        },
+    )
 }
 
 /// The lazy conditional `if : bool -> t0 -> t0 -> t0`.
@@ -257,16 +269,20 @@ pub fn prim_index() -> Arc<Primitive> {
 
 /// `= : int -> int -> bool`.
 pub fn prim_eq() -> Arc<Primitive> {
-    Primitive::function("=", Type::arrows(vec![tint(), tint()], tbool()), |args, _| {
-        Ok(Value::Bool(args[0].as_int()? == args[1].as_int()?))
-    })
+    Primitive::function(
+        "=",
+        Type::arrows(vec![tint(), tint()], tbool()),
+        |args, _| Ok(Value::Bool(args[0].as_int()? == args[1].as_int()?)),
+    )
 }
 
 /// `> : int -> int -> bool`.
 pub fn prim_gt() -> Arc<Primitive> {
-    Primitive::function(">", Type::arrows(vec![tint(), tint()], tbool()), |args, _| {
-        Ok(Value::Bool(args[0].as_int()? > args[1].as_int()?))
-    })
+    Primitive::function(
+        ">",
+        Type::arrows(vec![tint(), tint()], tbool()),
+        |args, _| Ok(Value::Bool(args[0].as_int()? > args[1].as_int()?)),
+    )
 }
 
 /// `is-nil : list(t0) -> bool`.
@@ -303,7 +319,7 @@ pub fn prim_zip() -> Arc<Primitive> {
             let b = args[1].as_list()?.to_vec();
             let f = args[2].clone();
             let mut out = Vec::with_capacity(a.len().min(b.len()));
-            for (x, y) in a.into_iter().zip(b.into_iter()) {
+            for (x, y) in a.into_iter().zip(b) {
                 let p = ctx.apply(f.clone(), x)?;
                 out.push(ctx.apply(p, y)?);
             }
@@ -316,7 +332,10 @@ pub fn prim_zip() -> Arc<Primitive> {
 pub fn prim_filter() -> Arc<Primitive> {
     Primitive::function(
         "filter",
-        Type::arrows(vec![Type::arrow(tvar(0), tbool()), tlist(tvar(0))], tlist(tvar(0))),
+        Type::arrows(
+            vec![Type::arrow(tvar(0), tbool()), tlist(tvar(0))],
+            tlist(tvar(0)),
+        ),
         |args, ctx| {
             let f = args[0].clone();
             let items = args[1].as_list()?.to_vec();
@@ -404,7 +423,10 @@ pub fn base_primitives() -> PrimitiveSet {
 /// (`filter`, `zip`, `range`, `unfold`, small digit constants).
 pub fn rich_list_primitives() -> PrimitiveSet {
     let mut s = base_primitives();
-    s.add(prim_filter()).add(prim_zip()).add(prim_range()).add(prim_unfold());
+    s.add(prim_filter())
+        .add(prim_zip())
+        .add(prim_range())
+        .add(prim_unfold());
     for d in 2..=9 {
         s.add(prim_int(d));
     }
@@ -451,7 +473,11 @@ pub fn text_primitives() -> PrimitiveSet {
     .add(Primitive::function(
         "str-chars",
         Type::arrow(tstr(), tlist(tchar())),
-        |args, _| Ok(Value::list(args[0].as_str()?.chars().map(Value::Char).collect())),
+        |args, _| {
+            Ok(Value::list(
+                args[0].as_str()?.chars().map(Value::Char).collect(),
+            ))
+        },
     ))
     .add(Primitive::function(
         "chars-str",
@@ -532,8 +558,27 @@ mod tests {
     fn base_set_has_expected_members() {
         let s = base_primitives();
         for name in [
-            "map", "fold", "cons", "car", "cdr", "if", "length", "index", "=", "+", "-", "0",
-            "1", "nil", "is-nil", "mod", "*", ">", "is-square", "is-prime", "fix",
+            "map",
+            "fold",
+            "cons",
+            "car",
+            "cdr",
+            "if",
+            "length",
+            "index",
+            "=",
+            "+",
+            "-",
+            "0",
+            "1",
+            "nil",
+            "is-nil",
+            "mod",
+            "*",
+            ">",
+            "is-square",
+            "is-prime",
+            "fix",
         ] {
             assert!(s.primitive(name).is_some(), "missing {name}");
         }
@@ -549,10 +594,16 @@ mod tests {
     #[test]
     fn zip_and_filter_and_range() {
         let prims = rich_list_primitives();
-        let e = Expr::parse("(zip (range 3) (range 3) (lambda (lambda (+ $0 $1))))", &prims)
-            .unwrap();
+        let e = Expr::parse(
+            "(zip (range 3) (range 3) (lambda (lambda (+ $0 $1))))",
+            &prims,
+        )
+        .unwrap();
         let out = run_program(&e, &[], 100_000).unwrap();
-        assert_eq!(out, Value::list(vec![Value::Int(0), Value::Int(2), Value::Int(4)]));
+        assert_eq!(
+            out,
+            Value::list(vec![Value::Int(0), Value::Int(2), Value::Int(4)])
+        );
 
         let f = Expr::parse("(filter (lambda (> $0 1)) (range 4))", &prims).unwrap();
         assert_eq!(

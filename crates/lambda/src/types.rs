@@ -137,8 +137,11 @@ impl Type {
     /// Canonicalize variables to `t0, t1, ...` in order of appearance.
     pub fn canonicalize(&self) -> Type {
         let vars = self.free_variables();
-        let mapping: HashMap<usize, usize> =
-            vars.into_iter().enumerate().map(|(new, old)| (old, new)).collect();
+        let mapping: HashMap<usize, usize> = vars
+            .into_iter()
+            .enumerate()
+            .map(|(new, old)| (old, new))
+            .collect();
         self.rename(&mapping)
     }
 
@@ -270,7 +273,10 @@ impl Context {
     /// `ty` (so instantiating other types cannot collide with `ty`).
     pub fn starting_after(ty: &Type) -> Context {
         let next = ty.free_variables().into_iter().max().map_or(0, |m| m + 1);
-        Context { substitution: HashMap::new(), next_variable: next }
+        Context {
+            substitution: HashMap::new(),
+            next_variable: next,
+        }
     }
 
     /// Allocate a fresh type variable.

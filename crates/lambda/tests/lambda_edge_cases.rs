@@ -27,8 +27,13 @@ fn parser_handles_deep_nesting() {
 #[test]
 fn parser_rejects_mismatched_parens_everywhere() {
     let prims = base_primitives();
-    for bad in ["((+ 1 1)", "(+ 1 1))", "(lambda)", "#", "($x)", "$-1", "$1x"] {
-        assert!(Expr::parse(bad, &prims).is_err(), "{bad:?} should not parse");
+    for bad in [
+        "((+ 1 1)", "(+ 1 1))", "(lambda)", "#", "($x)", "$-1", "$1x",
+    ] {
+        assert!(
+            Expr::parse(bad, &prims).is_err(),
+            "{bad:?} should not parse"
+        );
     }
 }
 
@@ -93,7 +98,10 @@ fn evaluator_depth_guard_reports_fuel_exhaustion() {
         src = format!("((lambda $0) {src})");
     }
     let e = Expr::parse(&format!("(lambda {src})"), &prims).unwrap();
-    assert_eq!(run_program(&e, &[Value::Int(7)], 100_000).unwrap(), Value::Int(7));
+    assert_eq!(
+        run_program(&e, &[Value::Int(7)], 100_000).unwrap(),
+        Value::Int(7)
+    );
 }
 
 #[test]
@@ -117,7 +125,10 @@ fn polymorphic_self_application_is_rejected() {
 #[test]
 fn if_branches_unify() {
     let e = parse("(lambda (if $0 1 0))");
-    assert_eq!(e.infer().unwrap().canonicalize(), Type::arrow(tbool(), tint()));
+    assert_eq!(
+        e.infer().unwrap().canonicalize(),
+        Type::arrow(tbool(), tint())
+    );
     let bad = Expr::parse("(lambda (if $0 1 nil))", &base_primitives()).unwrap();
     assert!(bad.infer().is_err());
 }
@@ -166,8 +177,11 @@ fn fuel_is_consumed_monotonically() {
 fn higher_order_if_as_value() {
     // `if` passed where a function is expected still behaves (strictly).
     let prims = base_primitives();
-    let e = Expr::parse("(map (if true (lambda (+ $0 1)) (lambda $0)) (cons 1 nil))", &prims)
-        .unwrap();
+    let e = Expr::parse(
+        "(map (if true (lambda (+ $0 1)) (lambda $0)) (cons 1 nil))",
+        &prims,
+    )
+    .unwrap();
     assert_eq!(
         run_program(&e, &[], 100_000).unwrap(),
         Value::list(vec![Value::Int(2)])

@@ -32,7 +32,11 @@ pub fn replay_example(
             .map(|(e, w)| (e.expr.clone(), w))
             .collect(),
     };
-    Some(TrainingExample { features, request: frontier.request.clone(), programs })
+    Some(TrainingExample {
+        features,
+        request: frontier.request.clone(),
+        programs,
+    })
 }
 
 /// Turn a dreamed (program, task-features) pair into a *fantasy* example.
@@ -46,7 +50,11 @@ pub fn fantasy_example(
     request: Type,
     programs: Vec<(dc_lambda::expr::Expr, f64)>,
 ) -> TrainingExample {
-    TrainingExample { features, request, programs }
+    TrainingExample {
+        features,
+        request,
+        programs,
+    }
 }
 
 #[cfg(test)]

@@ -66,7 +66,11 @@ impl Mlp {
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], lr, rng))
             .collect();
-        Mlp { layers, input_dim: sizes[0], output_dim: *sizes.last().expect("nonempty") }
+        Mlp {
+            layers,
+            input_dim: sizes[0],
+            output_dim: *sizes.last().expect("nonempty"),
+        }
     }
 
     /// Input dimensionality.
@@ -88,7 +92,11 @@ impl Mlp {
         let mut activations = vec![x.to_vec()];
         for (i, layer) in self.layers.iter().enumerate() {
             let pre = layer.forward(activations.last().expect("nonempty"));
-            let post = if i + 1 < self.layers.len() { tanh(&pre) } else { pre };
+            let post = if i + 1 < self.layers.len() {
+                tanh(&pre)
+            } else {
+                pre
+            };
             activations.push(post);
         }
         ForwardTrace { activations }
@@ -111,7 +119,11 @@ impl Mlp {
             .map(|l| l.w.cols)
             .expect("mlp has at least one layer");
         *layers.last_mut().expect("nonempty") = Linear::new(last_input, new_output, lr, rng);
-        Mlp { layers, input_dim: self.input_dim, output_dim: new_output }
+        Mlp {
+            layers,
+            input_dim: self.input_dim,
+            output_dim: new_output,
+        }
     }
 
     /// Backpropagate `d loss / d logits` and take one Adam step.

@@ -80,9 +80,7 @@ impl RecognitionModel {
         let max_arity = library.max_arity().max(1);
         let out_dim = match parameterization {
             Parameterization::Unigram => n + 1,
-            Parameterization::Bigram => {
-                BigramParent::row_count(n) * max_arity * (n + 1)
-            }
+            Parameterization::Bigram => BigramParent::row_count(n) * max_arity * (n + 1),
         };
         let mlp = Mlp::new(&[feature_dim, hidden_dim, out_dim], learning_rate, rng);
         RecognitionModel {
@@ -266,15 +264,30 @@ impl RecognitionModel {
             return last;
         }
         let mut order: Vec<usize> = (0..examples.len()).collect();
-        for _ in 0..epochs {
+        for epoch in 0..epochs {
             // Fisher-Yates shuffle.
             for i in (1..order.len()).rev() {
                 let j = rng.gen_range(0..=i);
                 order.swap(i, j);
             }
-            last = order.iter().map(|&i| self.train_step(&examples[i])).sum::<f64>()
+            last = order
+                .iter()
+                .map(|&i| self.train_step(&examples[i]))
+                .sum::<f64>()
                 / examples.len() as f64;
+            dc_telemetry::incr("recognition.epochs");
+            dc_telemetry::event(
+                dc_telemetry::Level::Debug,
+                "recognition.epoch",
+                &[
+                    ("epoch", epoch.into()),
+                    ("examples", examples.len().into()),
+                    ("mean_loss", last.into()),
+                ],
+            );
         }
+        dc_telemetry::add("recognition.examples_trained", examples.len() as u64);
+        dc_telemetry::set_gauge("recognition.final_loss", last);
         last
     }
 }
@@ -290,7 +303,10 @@ mod tests {
     fn tiny_library() -> Arc<Library> {
         let prims = base_primitives();
         Arc::new(Library::from_primitives(
-            prims.iter().filter(|p| ["+", "0", "1"].contains(&p.name.as_str())).cloned(),
+            prims
+                .iter()
+                .filter(|p| ["+", "0", "1"].contains(&p.name.as_str()))
+                .cloned(),
         ))
     }
 
@@ -340,10 +356,13 @@ mod tests {
             example("(+ 1 1)", vec![1.0, 0.0]),
             example("0", vec![0.0, 1.0]),
         ];
-        let first: f64 = examples.iter().map(|e| {
-            let mut m = model.clone();
-            m.train_step(e)
-        }).sum();
+        let first: f64 = examples
+            .iter()
+            .map(|e| {
+                let mut m = model.clone();
+                m.train_step(e)
+            })
+            .sum();
         let last = model.train(&examples, 300, &mut rng);
         assert!(last < first, "loss should fall: {first} -> {last}");
         // Conditioned on features, priors should now be task-appropriate.

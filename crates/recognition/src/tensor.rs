@@ -21,13 +21,19 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Xavier/Glorot-uniform initialization.
     pub fn glorot<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
         let limit = (6.0 / (rows + cols) as f64).sqrt();
-        let data = (0..rows * cols).map(|_| rng.gen_range(-limit..limit)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -48,9 +54,9 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            y[r] = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
+            *yr = row.iter().zip(x).map(|(w, xi)| w * xi).sum();
         }
         y
     }
@@ -62,10 +68,10 @@ impl Matrix {
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, xr) in x.iter().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (yc, w) in y.iter_mut().zip(row) {
-                *yc += w * x[r];
+                *yc += w * xr;
             }
         }
         y
@@ -88,7 +94,15 @@ pub struct Adam {
 impl Adam {
     /// Fresh state for `n` parameters at learning rate `lr`.
     pub fn new(n: usize, lr: f64) -> Adam {
-        Adam { m: vec![0.0; n], v: vec![0.0; n], t: 0, lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Adam {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Apply one update: `params -= lr * m̂ / (sqrt(v̂) + eps)`.
@@ -128,7 +142,11 @@ mod tests {
 
     #[test]
     fn matvec_known_values() {
-        let w = Matrix { rows: 2, cols: 3, data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] };
+        let w = Matrix {
+            rows: 2,
+            cols: 3,
+            data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        };
         assert_eq!(w.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
         assert_eq!(w.matvec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
     }

@@ -58,7 +58,10 @@ pub fn run_on_inputs(
     for ins in inputs {
         let mut ctx = EvalCtx::with_fuel(fuel);
         let v = ctx.run(program, ins).ok()?;
-        out.push(crate::task::Example { inputs: ins.clone(), output: v });
+        out.push(crate::task::Example {
+            inputs: ins.clone(),
+            output: v,
+        });
     }
     Some(out)
 }
@@ -95,13 +98,25 @@ mod tests {
     #[test]
     fn degenerate_detection() {
         let same = vec![
-            Example { inputs: vec![Value::Int(1)], output: Value::Int(0) },
-            Example { inputs: vec![Value::Int(2)], output: Value::Int(0) },
+            Example {
+                inputs: vec![Value::Int(1)],
+                output: Value::Int(0),
+            },
+            Example {
+                inputs: vec![Value::Int(2)],
+                output: Value::Int(0),
+            },
         ];
         assert!(degenerate_outputs(&same));
         let diff = vec![
-            Example { inputs: vec![Value::Int(1)], output: Value::Int(1) },
-            Example { inputs: vec![Value::Int(2)], output: Value::Int(0) },
+            Example {
+                inputs: vec![Value::Int(1)],
+                output: Value::Int(1),
+            },
+            Example {
+                inputs: vec![Value::Int(2)],
+                output: Value::Int(0),
+            },
         ];
         assert!(!degenerate_outputs(&diff));
     }

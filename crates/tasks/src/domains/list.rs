@@ -41,11 +41,13 @@ fn lb() -> Type {
     Type::arrow(tlist(tint()), tbool())
 }
 
+type ListFn = dyn Fn(&[i64]) -> Option<Value> + Send + Sync;
+
 struct Template {
     name: &'static str,
     request: Type,
     /// Compute the output for a random input list; `None` = skip input.
-    f: Box<dyn Fn(&[i64]) -> Option<Value> + Send + Sync>,
+    f: Box<ListFn>,
     /// Minimum input length the template needs.
     min_len: usize,
 }
@@ -57,28 +59,53 @@ fn templates() -> Vec<Template> {
         min_len: usize,
         f: impl Fn(&[i64]) -> Option<Value> + Send + Sync + 'static,
     ) -> Template {
-        Template { name, request, f: Box::new(f), min_len }
+        Template {
+            name,
+            request,
+            f: Box::new(f),
+            min_len,
+        }
     }
     let is_prime = |n: i64| n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0);
     let is_square = |n: i64| (0..=n).any(|r| r * r == n);
     vec![
-        t("add1 to each", ll(), 0, |l| Some(ints(&l.iter().map(|x| x + 1).collect::<Vec<_>>()))),
-        t("add2 to each", ll(), 0, |l| Some(ints(&l.iter().map(|x| x + 2).collect::<Vec<_>>()))),
-        t("double each", ll(), 0, |l| Some(ints(&l.iter().map(|x| x * 2).collect::<Vec<_>>()))),
-        t("triple each", ll(), 0, |l| Some(ints(&l.iter().map(|x| x * 3).collect::<Vec<_>>()))),
+        t("add1 to each", ll(), 0, |l| {
+            Some(ints(&l.iter().map(|x| x + 1).collect::<Vec<_>>()))
+        }),
+        t("add2 to each", ll(), 0, |l| {
+            Some(ints(&l.iter().map(|x| x + 2).collect::<Vec<_>>()))
+        }),
+        t("double each", ll(), 0, |l| {
+            Some(ints(&l.iter().map(|x| x * 2).collect::<Vec<_>>()))
+        }),
+        t("triple each", ll(), 0, |l| {
+            Some(ints(&l.iter().map(|x| x * 3).collect::<Vec<_>>()))
+        }),
         t("subtract1 each", ll(), 0, |l| {
             Some(ints(&l.iter().map(|x| x - 1).collect::<Vec<_>>()))
         }),
-        t("square each", ll(), 0, |l| Some(ints(&l.iter().map(|x| x * x).collect::<Vec<_>>()))),
+        t("square each", ll(), 0, |l| {
+            Some(ints(&l.iter().map(|x| x * x).collect::<Vec<_>>()))
+        }),
         t("length", li(), 0, |l| Some(Value::Int(l.len() as i64))),
         t("sum", li(), 0, |l| Some(Value::Int(l.iter().sum()))),
-        t("product", li(), 0, |l| Some(Value::Int(l.iter().take(5).product()))),
-        t("maximum", li(), 1, |l| l.iter().max().map(|&m| Value::Int(m))),
-        t("minimum", li(), 1, |l| l.iter().min().map(|&m| Value::Int(m))),
+        t("product", li(), 0, |l| {
+            Some(Value::Int(l.iter().take(5).product()))
+        }),
+        t("maximum", li(), 1, |l| {
+            l.iter().max().map(|&m| Value::Int(m))
+        }),
+        t("minimum", li(), 1, |l| {
+            l.iter().min().map(|&m| Value::Int(m))
+        }),
         t("head", li(), 1, |l| l.first().map(|&h| Value::Int(h))),
         t("last", li(), 1, |l| l.last().map(|&h| Value::Int(h))),
-        t("second element", li(), 2, |l| l.get(1).map(|&h| Value::Int(h))),
-        t("third element", li(), 3, |l| l.get(2).map(|&h| Value::Int(h))),
+        t("second element", li(), 2, |l| {
+            l.get(1).map(|&h| Value::Int(h))
+        }),
+        t("third element", li(), 3, |l| {
+            l.get(2).map(|&h| Value::Int(h))
+        }),
         t("tail", ll(), 1, |l| Some(ints(&l[1..]))),
         t("drop first two", ll(), 2, |l| Some(ints(&l[2..]))),
         t("take first two", ll(), 2, |l| Some(ints(&l[..2]))),
@@ -91,16 +118,30 @@ fn templates() -> Vec<Template> {
             Some(ints(&v))
         }),
         t("keep evens", ll(), 0, |l| {
-            Some(ints(&l.iter().filter(|x| *x % 2 == 0).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .filter(|x| *x % 2 == 0)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            ))
         }),
         t("keep odds", ll(), 0, |l| {
-            Some(ints(&l.iter().filter(|x| *x % 2 == 1).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .filter(|x| *x % 2 == 1)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            ))
         }),
         t("keep greater than 3", ll(), 0, |l| {
-            Some(ints(&l.iter().filter(|x| **x > 3).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter().filter(|x| **x > 3).copied().collect::<Vec<_>>(),
+            ))
         }),
         t("remove zeros", ll(), 0, |l| {
-            Some(ints(&l.iter().filter(|x| **x != 0).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter().filter(|x| **x != 0).copied().collect::<Vec<_>>(),
+            ))
         }),
         t("count zeros", li(), 0, |l| {
             Some(Value::Int(l.iter().filter(|x| **x == 0).count() as i64))
@@ -128,10 +169,18 @@ fn templates() -> Vec<Template> {
         }),
         t("is empty", lb(), 0, |l| Some(Value::Bool(l.is_empty()))),
         t("is singleton", lb(), 0, |l| Some(Value::Bool(l.len() == 1))),
-        t("contains zero", lb(), 0, |l| Some(Value::Bool(l.contains(&0)))),
-        t("is sorted", lb(), 0, |l| Some(Value::Bool(l.windows(2).all(|w| w[0] <= w[1])))),
-        t("all even", lb(), 0, |l| Some(Value::Bool(l.iter().all(|x| x % 2 == 0)))),
-        t("replace each with zero", ll(), 0, |l| Some(ints(&vec![0; l.len()]))),
+        t("contains zero", lb(), 0, |l| {
+            Some(Value::Bool(l.contains(&0)))
+        }),
+        t("is sorted", lb(), 0, |l| {
+            Some(Value::Bool(l.windows(2).all(|w| w[0] <= w[1])))
+        }),
+        t("all even", lb(), 0, |l| {
+            Some(Value::Bool(l.iter().all(|x| x % 2 == 0)))
+        }),
+        t("replace each with zero", ll(), 0, |l| {
+            Some(ints(&vec![0; l.len()]))
+        }),
         t("range of head", ll(), 1, |l| {
             let n = l[0].min(8);
             Some(ints(&(0..n).collect::<Vec<_>>()))
@@ -143,14 +192,28 @@ fn templates() -> Vec<Template> {
             Some(ints(&l.iter().map(|x| x % 2).collect::<Vec<_>>()))
         }),
         t("keep squares", ll(), 0, move |l| {
-            Some(ints(&l.iter().filter(|&&x| is_square(x)).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .filter(|&&x| is_square(x))
+                    .copied()
+                    .collect::<Vec<_>>(),
+            ))
         }),
         t("keep primes", ll(), 0, move |l| {
-            Some(ints(&l.iter().filter(|&&x| is_prime(x)).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .filter(|&&x| is_prime(x))
+                    .copied()
+                    .collect::<Vec<_>>(),
+            ))
         }),
-        t("sum of doubles", li(), 0, |l| Some(Value::Int(l.iter().map(|x| 2 * x).sum()))),
+        t("sum of doubles", li(), 0, |l| {
+            Some(Value::Int(l.iter().map(|x| 2 * x).sum()))
+        }),
         t("max minus min", li(), 1, |l| {
-            Some(Value::Int(l.iter().max().unwrap() - l.iter().min().unwrap()))
+            Some(Value::Int(
+                l.iter().max().unwrap() - l.iter().min().unwrap(),
+            ))
         }),
         t("second largest", li(), 2, |l| {
             let mut v = l.to_vec();
@@ -158,7 +221,12 @@ fn templates() -> Vec<Template> {
             v.get(v.len() - 2).map(|&x| Value::Int(x))
         }),
         t("add index to each", ll(), 0, |l| {
-            Some(ints(&l.iter().enumerate().map(|(i, x)| x + i as i64).collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .enumerate()
+                    .map(|(i, x)| x + i as i64)
+                    .collect::<Vec<_>>(),
+            ))
         }),
         t("pairwise sums with next", ll(), 1, |l| {
             Some(ints(&l.windows(2).map(|w| w[0] + w[1]).collect::<Vec<_>>()))
@@ -176,7 +244,10 @@ fn build_task<R: Rng + ?Sized>(tpl: &Template, rng: &mut R, dim: usize) -> Task 
             input.push(rng.gen_range(0..=9));
         }
         if let Some(output) = (tpl.f)(&input) {
-            examples.push(Example { inputs: vec![ints(&input)], output });
+            examples.push(Example {
+                inputs: vec![ints(&input)],
+                output,
+            });
         }
     }
     let features = io_features(&examples, dim);
@@ -206,7 +277,11 @@ impl ListDomain {
                 train.push(build_task(tpl, &mut rng, dim));
             }
         }
-        ListDomain { primitives, train, test }
+        ListDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 
@@ -247,7 +322,11 @@ mod tests {
     #[test]
     fn corpus_has_paper_scale() {
         let d = ListDomain::new(0);
-        assert!(d.train_tasks().len() >= 40, "train = {}", d.train_tasks().len());
+        assert!(
+            d.train_tasks().len() >= 40,
+            "train = {}",
+            d.train_tasks().len()
+        );
         assert!(d.test_tasks().len() >= 20);
         for task in d.train_tasks().iter().chain(d.test_tasks()) {
             assert_eq!(task.examples.len(), 5, "{} lacks examples", task.name);
@@ -300,7 +379,10 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
         let task = d.dream(&program, &ll(), &mut rng).expect("dream task");
         assert_eq!(task.examples.len(), 5);
-        assert!(task.check(&program), "the dreamed program must solve its own dream");
+        assert!(
+            task.check(&program),
+            "the dreamed program must solve its own dream"
+        );
     }
 
     #[test]

@@ -52,7 +52,13 @@ pub struct TurtleState {
 impl TurtleState {
     /// The initial state: origin, facing +x, pen down, blank canvas.
     pub fn new() -> TurtleState {
-        TurtleState { x: 0.0, y: 0.0, heading: 0.0, pen: true, segments: Vec::new() }
+        TurtleState {
+            x: 0.0,
+            y: 0.0,
+            heading: 0.0,
+            pen: true,
+            segments: Vec::new(),
+        }
     }
 }
 
@@ -151,7 +157,10 @@ pub fn logo_primitives() -> PrimitiveSet {
             let nx = t.x + d * t.heading.cos();
             let ny = t.y + d * t.heading.sin();
             if t.pen {
-                t.segments.push(Segment { from: (t.x, t.y), to: (nx, ny) });
+                t.segments.push(Segment {
+                    from: (t.x, t.y),
+                    to: (nx, ny),
+                });
             }
             if t.segments.len() > 10_000 {
                 return Err(EvalError::runtime("too many segments"));
@@ -173,7 +182,10 @@ pub fn logo_primitives() -> PrimitiveSet {
     ))
     .add(Primitive::function(
         "pen-up",
-        Type::arrows(vec![Type::arrow(tturtle(), tturtle()), tturtle()], tturtle()),
+        Type::arrows(
+            vec![Type::arrow(tturtle(), tturtle()), tturtle()],
+            tturtle(),
+        ),
         |args, ctx| {
             let mut t = get_turtle(&args[1])?;
             let pen = t.pen;
@@ -185,7 +197,10 @@ pub fn logo_primitives() -> PrimitiveSet {
     ))
     .add(Primitive::function(
         "embed",
-        Type::arrows(vec![Type::arrow(tturtle(), tturtle()), tturtle()], tturtle()),
+        Type::arrows(
+            vec![Type::arrow(tturtle(), tturtle()), tturtle()],
+            tturtle(),
+        ),
         |args, ctx| {
             let t = get_turtle(&args[1])?;
             let (x, y, h, pen) = (t.x, t.y, t.heading, t.pen);
@@ -217,12 +232,16 @@ pub fn logo_primitives() -> PrimitiveSet {
         },
     ))
     .add(Primitive::constant("unit-d", tdist(), dist_value(1.0)))
-    .add(Primitive::function("d-double", Type::arrow(tdist(), tdist()), |args, _| {
-        Ok(Value::Real(args[0].as_real()? * 2.0))
-    }))
-    .add(Primitive::function("d-half", Type::arrow(tdist(), tdist()), |args, _| {
-        Ok(Value::Real(args[0].as_real()? / 2.0))
-    }))
+    .add(Primitive::function(
+        "d-double",
+        Type::arrow(tdist(), tdist()),
+        |args, _| Ok(Value::Real(args[0].as_real()? * 2.0)),
+    ))
+    .add(Primitive::function(
+        "d-half",
+        Type::arrow(tdist(), tdist()),
+        |args, _| Ok(Value::Real(args[0].as_real()? / 2.0)),
+    ))
     .add(Primitive::constant(
         "a-quarter",
         tangle(),
@@ -331,16 +350,13 @@ pub fn ground_truth_programs() -> Vec<(&'static str, String)> {
     ] {
         progs.push((
             name,
-            format!(
-                "(lambda (logo-for {n} (lambda (rt (a-div a-full {n}) (fw unit-d $0))) $0))"
-            ),
+            format!("(lambda (logo-for {n} (lambda (rt (a-div a-full {n}) (fw unit-d $0))) $0))"),
         ));
     }
     // Small and double-sized squares.
     progs.push((
         "big square",
-        "(lambda (logo-for 4 (lambda (rt (a-div a-full 4) (fw (d-double unit-d) $0))) $0))"
-            .into(),
+        "(lambda (logo-for 4 (lambda (rt (a-div a-full 4) (fw (d-double unit-d) $0))) $0))".into(),
     ));
     // A row of squares (embed + pen-up hop).
     progs.push((
@@ -355,8 +371,7 @@ pub fn ground_truth_programs() -> Vec<(&'static str, String)> {
     ));
     progs.push((
         "eight spokes",
-        "(lambda (logo-for 8 (lambda (rt a-eighth (embed (lambda (fw unit-d $0)) $0))) $0))"
-            .into(),
+        "(lambda (logo-for 8 (lambda (rt a-eighth (embed (lambda (fw unit-d $0)) $0))) $0))".into(),
     ));
     // Staircase.
     progs.push((
@@ -407,7 +422,11 @@ impl LogoDomain {
                 test.push(task);
             }
         }
-        LogoDomain { primitives, train, test }
+        LogoDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 
@@ -458,7 +477,10 @@ mod tests {
         .unwrap();
         let state = run_logo_program(&square, 100_000).unwrap();
         assert_eq!(state.segments.len(), 4);
-        assert!(state.x.abs() < 1e-9 && state.y.abs() < 1e-9, "square should close");
+        assert!(
+            state.x.abs() < 1e-9 && state.y.abs() < 1e-9,
+            "square should close"
+        );
     }
 
     #[test]
@@ -486,7 +508,10 @@ mod tests {
 
     #[test]
     fn rasterization_is_deterministic_and_nonempty() {
-        let segs = [Segment { from: (0.0, 0.0), to: (3.0, 0.0) }];
+        let segs = [Segment {
+            from: (0.0, 0.0),
+            to: (3.0, 0.0),
+        }];
         let a = rasterize(&segs);
         let b = rasterize(&segs);
         assert_eq!(a, b);

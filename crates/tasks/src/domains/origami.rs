@@ -31,10 +31,12 @@ fn li() -> Type {
     Type::arrow(tlist(tint()), tint())
 }
 
+type ListFn = dyn Fn(&[i64]) -> Option<Value> + Send + Sync;
+
 struct Template {
     name: &'static str,
     request: Type,
-    f: Box<dyn Fn(&[i64]) -> Option<Value> + Send + Sync>,
+    f: Box<ListFn>,
     min_len: usize,
 }
 
@@ -47,7 +49,12 @@ fn templates() -> Vec<Template> {
         min_len: usize,
         f: impl Fn(&[i64]) -> Option<Value> + Send + Sync + 'static,
     ) -> Template {
-        Template { name, request, f: Box::new(f), min_len }
+        Template {
+            name,
+            request,
+            f: Box::new(f),
+            min_len,
+        }
     }
     vec![
         t("length", li(), 0, |l| Some(Value::Int(l.len() as i64))),
@@ -61,8 +68,12 @@ fn templates() -> Vec<Template> {
         t("decrement each", ll(), 0, |l| {
             Some(ints(&l.iter().map(|x| x - 1).collect::<Vec<_>>()))
         }),
-        t("last element", li(), 1, |l| l.last().map(|&x| Value::Int(x))),
-        t("maximum", li(), 1, |l| l.iter().max().map(|&x| Value::Int(x))),
+        t("last element", li(), 1, |l| {
+            l.last().map(|&x| Value::Int(x))
+        }),
+        t("maximum", li(), 1, |l| {
+            l.iter().max().map(|&x| Value::Int(x))
+        }),
         t("count down from head", ll(), 1, |l| {
             let n = l[0].min(8);
             Some(ints(&(1..=n).rev().collect::<Vec<_>>()))
@@ -83,7 +94,9 @@ fn templates() -> Vec<Template> {
             Some(ints(&l.iter().rev().copied().collect::<Vec<_>>()))
         }),
         t("keep positives", ll(), 0, |l| {
-            Some(ints(&l.iter().filter(|&&x| x > 0).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter().filter(|&&x| x > 0).copied().collect::<Vec<_>>(),
+            ))
         }),
         t("count positives", li(), 0, |l| {
             Some(Value::Int(l.iter().filter(|&&x| x > 0).count() as i64))
@@ -92,12 +105,20 @@ fn templates() -> Vec<Template> {
             Some(Value::Bool(l.contains(&0)))
         }),
         t("take while positive", ll(), 0, |l| {
-            Some(ints(&l.iter().take_while(|&&x| x > 0).copied().collect::<Vec<_>>()))
+            Some(ints(
+                &l.iter()
+                    .take_while(|&&x| x > 0)
+                    .copied()
+                    .collect::<Vec<_>>(),
+            ))
         }),
         t("drop last", ll(), 1, |l| Some(ints(&l[..l.len() - 1]))),
         t("pairwise sum with reverse", ll(), 0, |l| {
             Some(ints(
-                &l.iter().zip(l.iter().rev()).map(|(a, b)| a + b).collect::<Vec<_>>(),
+                &l.iter()
+                    .zip(l.iter().rev())
+                    .map(|(a, b)| a + b)
+                    .collect::<Vec<_>>(),
             ))
         }),
         t("zip add consecutive pairs", ll(), 1, |l| {
@@ -125,7 +146,10 @@ impl OrigamiDomain {
                 let len = rng.gen_range(tpl.min_len..=6.max(tpl.min_len));
                 let input: Vec<i64> = (0..len).map(|_| rng.gen_range(0..=6)).collect();
                 if let Some(output) = (tpl.f)(&input) {
-                    examples.push(Example { inputs: vec![ints(&input)], output });
+                    examples.push(Example {
+                        inputs: vec![ints(&input)],
+                        output,
+                    });
                 }
             }
             let features = io_features(&examples, 64);
@@ -155,7 +179,9 @@ impl Domain for OrigamiDomain {
         let inputs: Vec<Vec<Value>> = (0..5)
             .map(|_| {
                 let len = rng.gen_range(0..=6);
-                vec![ints(&(0..len).map(|_| rng.gen_range(0..=6)).collect::<Vec<_>>())]
+                vec![ints(
+                    &(0..len).map(|_| rng.gen_range(0..=6)).collect::<Vec<_>>(),
+                )]
             })
             .collect();
         let examples = run_on_inputs(program, &inputs, 20_000)?;

@@ -37,6 +37,9 @@ pub enum Out {
     Vector,
 }
 
+/// The ground-truth implementation of a law.
+pub type LawFn = dyn Fn(&[LawInput]) -> Vec<f64> + Send + Sync;
+
 /// One law: name, signature, and ground-truth function.
 pub struct Law {
     /// Conventional name, e.g. `"F = m a"`.
@@ -46,7 +49,7 @@ pub struct Law {
     /// Output kind.
     pub out: Out,
     /// Ground truth.
-    pub f: Box<dyn Fn(&[LawInput]) -> Vec<f64> + Send + Sync>,
+    pub f: Box<LawFn>,
 }
 
 /// A sampled law input.
@@ -130,10 +133,7 @@ pub fn laws() -> Vec<Law> {
             f: Box::new(move |a| f(a[0].v(), a[1].v())),
         }
     }
-    fn sv(
-        name: &'static str,
-        f: impl Fn(f64, &[f64]) -> Vec<f64> + Send + Sync + 'static,
-    ) -> Law {
+    fn sv(name: &'static str, f: impl Fn(f64, &[f64]) -> Vec<f64> + Send + Sync + 'static) -> Law {
         Law {
             name,
             args: vec![Arg::Scalar, Arg::Vector],
@@ -199,16 +199,26 @@ pub fn laws() -> Vec<Law> {
         s2("v = sqrt(T/mu) (string)", |t, mu| (t / mu).sqrt()),
         // --- vector algebra ---
         v2s("dot product", dot),
-        v2v("vector sum", |u, v| u.iter().zip(v).map(|(a, b)| a + b).collect()),
-        v2v("vector difference", |u, v| u.iter().zip(v).map(|(a, b)| a - b).collect()),
+        v2v("vector sum", |u, v| {
+            u.iter().zip(v).map(|(a, b)| a + b).collect()
+        }),
+        v2v("vector difference", |u, v| {
+            u.iter().zip(v).map(|(a, b)| a - b).collect()
+        }),
         sv("scalar multiply", |a, v| v.iter().map(|x| a * x).collect()),
         v1s("norm", |v| dot(v, v).sqrt()),
         v1s("norm squared", |v| dot(v, v)),
         v1s("sum of components", |v| v.iter().sum()),
         v2s("distance between points", |u, v| {
-            u.iter().zip(v).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            u.iter()
+                .zip(v)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
         }),
-        v2v("midpoint", |u, v| u.iter().zip(v).map(|(a, b)| 0.5 * (a + b)).collect()),
+        v2v("midpoint", |u, v| {
+            u.iter().zip(v).map(|(a, b)| 0.5 * (a + b)).collect()
+        }),
         v2s("work = F . d", dot),
     ]
 }
@@ -279,7 +289,11 @@ pub fn law_task<R: Rng + ?Sized>(law: &Law, rng: &mut R, n: usize) -> Task {
     Task {
         name: law.name.to_owned(),
         request: law_request(law),
-        oracle: Arc::new(RealOracle { examples: examples.clone(), rel_tol: 1e-3, fuel: 20_000 }),
+        oracle: Arc::new(RealOracle {
+            examples: examples.clone(),
+            rel_tol: 1e-3,
+            fuel: 20_000,
+        }),
         features,
         examples,
     }
@@ -299,8 +313,15 @@ impl PhysicsDomain {
     pub fn new(seed: u64) -> PhysicsDomain {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let primitives = physics_primitives();
-        let train = laws().iter().map(|law| law_task(law, &mut rng, 5)).collect();
-        PhysicsDomain { primitives, train, test: Vec::new() }
+        let train = laws()
+            .iter()
+            .map(|law| law_task(law, &mut rng, 5))
+            .collect();
+        PhysicsDomain {
+            primitives,
+            train,
+            test: Vec::new(),
+        }
     }
 }
 
@@ -327,7 +348,13 @@ impl Domain for PhysicsDomain {
         let arg_kinds: Vec<Arg> = request
             .arguments()
             .iter()
-            .map(|t| if t.is_arrow() || **t == tlist(treal()) { Arg::Vector } else { Arg::Scalar })
+            .map(|t| {
+                if t.is_arrow() || **t == tlist(treal()) {
+                    Arg::Vector
+                } else {
+                    Arg::Scalar
+                }
+            })
             .collect();
         let inputs: Vec<Vec<Value>> = (0..5)
             .map(|_| {
@@ -345,7 +372,11 @@ impl Domain for PhysicsDomain {
         Some(Task {
             name: "dream".to_owned(),
             request: request.clone(),
-            oracle: Arc::new(RealOracle { examples: examples.clone(), rel_tol: 1e-3, fuel: 20_000 }),
+            oracle: Arc::new(RealOracle {
+                examples: examples.clone(),
+                rel_tol: 1e-3,
+                fuel: 20_000,
+            }),
             features,
             examples,
         })
@@ -368,7 +399,11 @@ mod tests {
         let d = PhysicsDomain::new(1);
         let prims = d.primitives();
         let p = Expr::parse("(lambda (lambda (*. $1 $0)))", prims).unwrap();
-        let t = d.train_tasks().iter().find(|t| t.name == "F = m a").unwrap();
+        let t = d
+            .train_tasks()
+            .iter()
+            .find(|t| t.name == "F = m a")
+            .unwrap();
         assert!(t.check(&p));
         // and division does not solve it
         let q = Expr::parse("(lambda (lambda (/. $1 $0)))", prims).unwrap();
@@ -384,7 +419,11 @@ mod tests {
             prims,
         )
         .unwrap();
-        let t = d.train_tasks().iter().find(|t| t.name == "dot product").unwrap();
+        let t = d
+            .train_tasks()
+            .iter()
+            .find(|t| t.name == "dot product")
+            .unwrap();
         assert!(t.check(&dot), "zip/fold dot product rejected");
     }
 
@@ -409,9 +448,16 @@ mod tests {
     fn vector_sum_solved_by_zip() {
         let d = PhysicsDomain::new(4);
         let prims = d.primitives();
-        let p = Expr::parse("(lambda (lambda (zip $1 $0 (lambda (lambda (+. $1 $0))))))", prims)
+        let p = Expr::parse(
+            "(lambda (lambda (zip $1 $0 (lambda (lambda (+. $1 $0))))))",
+            prims,
+        )
+        .unwrap();
+        let t = d
+            .train_tasks()
+            .iter()
+            .find(|t| t.name == "vector sum")
             .unwrap();
-        let t = d.train_tasks().iter().find(|t| t.name == "vector sum").unwrap();
         assert!(t.check(&p));
     }
 

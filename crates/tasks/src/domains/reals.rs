@@ -15,14 +15,18 @@ fn real2(
     name: &str,
     f: impl Fn(f64, f64) -> Result<f64, EvalError> + Send + Sync + 'static,
 ) -> Arc<Primitive> {
-    Primitive::function(name, Type::arrows(vec![treal(), treal()], treal()), move |args, _| {
-        let r = f(args[0].as_real()?, args[1].as_real()?)?;
-        if r.is_finite() {
-            Ok(Value::Real(r))
-        } else {
-            Err(EvalError::runtime("non-finite real"))
-        }
-    })
+    Primitive::function(
+        name,
+        Type::arrows(vec![treal(), treal()], treal()),
+        move |args, _| {
+            let r = f(args[0].as_real()?, args[1].as_real()?)?;
+            if r.is_finite() {
+                Ok(Value::Real(r))
+            } else {
+                Err(EvalError::runtime("non-finite real"))
+            }
+        },
+    )
 }
 
 /// Real arithmetic: `+. -. *. /. sqrt.` and a few constants.
@@ -38,14 +42,18 @@ pub fn real_primitives() -> PrimitiveSet {
                 Ok(a / b)
             }
         }))
-        .add(Primitive::function("sqrt.", Type::arrow(treal(), treal()), |args, _| {
-            let a = args[0].as_real()?;
-            if a < 0.0 {
-                Err(EvalError::runtime("sqrt of negative"))
-            } else {
-                Ok(Value::Real(a.sqrt()))
-            }
-        }))
+        .add(Primitive::function(
+            "sqrt.",
+            Type::arrow(treal(), treal()),
+            |args, _| {
+                let a = args[0].as_real()?;
+                if a < 0.0 {
+                    Err(EvalError::runtime("sqrt of negative"))
+                } else {
+                    Ok(Value::Real(a.sqrt()))
+                }
+            },
+        ))
         .add(Primitive::constant("1r", treal(), Value::Real(1.0)))
         .add(Primitive::constant("2r", treal(), Value::Real(2.0)))
         .add(Primitive::constant("half", treal(), Value::Real(0.5)));
@@ -57,12 +65,18 @@ pub fn real_primitives() -> PrimitiveSet {
 pub fn approx_eq(a: &Value, b: &Value, rel_tol: f64) -> bool {
     match (a, b) {
         (Value::Real(_) | Value::Int(_), Value::Real(_) | Value::Int(_)) => {
-            let (x, y) = (a.as_real().unwrap_or(f64::NAN), b.as_real().unwrap_or(f64::NAN));
+            let (x, y) = (
+                a.as_real().unwrap_or(f64::NAN),
+                b.as_real().unwrap_or(f64::NAN),
+            );
             let scale = x.abs().max(y.abs()).max(1e-6);
             (x - y).abs() <= rel_tol * scale
         }
         (Value::List(x), Value::List(y)) => {
-            x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| approx_eq(u, v, rel_tol))
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(u, v)| approx_eq(u, v, rel_tol))
         }
         _ => a == b,
     }

@@ -100,8 +100,7 @@ impl Regex {
     pub fn log_prob(&self, s: &str) -> f64 {
         let chars: Vec<char> = s.chars().collect();
         let mut memo: HashMap<(*const Regex, usize, usize), f64> = HashMap::new();
-        let ll = self.lp(&chars, 0, chars.len(), &mut memo);
-        ll
+        self.lp(&chars, 0, chars.len(), &mut memo)
     }
 
     fn lp(
@@ -331,12 +330,15 @@ pub fn concepts() -> Vec<(&'static str, Regex)> {
     vec![
         (
             "parenthesized count",
-            conc(vec![c('('), d(), d(), Arc::new(Star(Arc::new(Digit))), c(')')]),
+            conc(vec![
+                c('('),
+                d(),
+                d(),
+                Arc::new(Star(Arc::new(Digit))),
+                c(')'),
+            ]),
         ),
-        (
-            "price",
-            conc(vec![c('$'), d(), c('.'), d(), c('0')]),
-        ),
+        ("price", conc(vec![c('$'), d(), c('.'), d(), c('0')])),
         (
             "phone number",
             conc(vec![
@@ -384,7 +386,10 @@ pub fn concepts() -> Vec<(&'static str, Regex)> {
                 d(),
             ]),
         ),
-        ("integer list entry", conc(vec![d(), Arc::new(Star(Arc::new(Digit)))])),
+        (
+            "integer list entry",
+            conc(vec![d(), Arc::new(Star(Arc::new(Digit)))]),
+        ),
         (
             "ratio",
             conc(vec![d(), c('/'), d(), Arc::new(Star(Arc::new(Digit)))]),
@@ -395,7 +400,11 @@ pub fn concepts() -> Vec<(&'static str, Regex)> {
         ),
         (
             "lowercase word",
-            conc(vec![Arc::new(Lower), Arc::new(Lower), Arc::new(Star(Arc::new(Lower)))]),
+            conc(vec![
+                Arc::new(Lower),
+                Arc::new(Lower),
+                Arc::new(Star(Arc::new(Lower))),
+            ]),
         ),
         (
             "money range",
@@ -430,13 +439,19 @@ fn concept_task<R: Rng + ?Sized>(
     }
     let examples: Vec<Example> = strings
         .iter()
-        .map(|s| Example { inputs: vec![], output: Value::str(s) })
+        .map(|s| Example {
+            inputs: vec![],
+            output: Value::str(s),
+        })
         .collect();
     let features = crate::task::io_features(&examples, 64);
     Task {
         name: name.to_owned(),
         request: tregex(),
-        oracle: Arc::new(RegexOracle { strings, per_char_threshold: -3.0 }),
+        oracle: Arc::new(RegexOracle {
+            strings,
+            per_char_threshold: -3.0,
+        }),
         features,
         examples,
     }
@@ -460,7 +475,11 @@ impl RegexDomain {
                 test.push(t1);
             }
         }
-        RegexDomain { primitives, train, test }
+        RegexDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 
@@ -561,7 +580,10 @@ mod tests {
             .expect("price task");
         assert!(price_task.check(&price), "true price regex rejected");
         let digits = Expr::parse("(r-star r-d)", prims).unwrap();
-        assert!(!price_task.check(&digits), "digit-star shouldn't explain prices");
+        assert!(
+            !price_task.check(&digits),
+            "digit-star shouldn't explain prices"
+        );
     }
 
     #[test]

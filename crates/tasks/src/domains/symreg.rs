@@ -108,11 +108,11 @@ struct Template {
 }
 
 fn templates() -> Vec<Template> {
-    fn t(
-        name: &'static str,
-        f: impl Fn(f64, f64, f64) -> f64 + Send + Sync + 'static,
-    ) -> Template {
-        Template { name, f: Box::new(f) }
+    fn t(name: &'static str, f: impl Fn(f64, f64, f64) -> f64 + Send + Sync + 'static) -> Template {
+        Template {
+            name,
+            f: Box::new(f),
+        }
     }
     vec![
         t("constant", |a, _, _| a),
@@ -155,12 +155,18 @@ fn build_task<R: Rng + ?Sized>(tpl: &Template, rng: &mut R) -> Task {
     let points: Vec<(f64, f64)> = XS.iter().map(|&x| (x, (tpl.f)(a, b, x))).collect();
     let examples: Vec<Example> = points
         .iter()
-        .map(|&(x, y)| Example { inputs: vec![Value::Real(x)], output: Value::Real(y) })
+        .map(|&(x, y)| Example {
+            inputs: vec![Value::Real(x)],
+            output: Value::Real(y),
+        })
         .collect();
     Task {
         name: tpl.name.to_owned(),
         request: symreg_request(),
-        oracle: Arc::new(SymRegOracle { points: points.clone(), tolerance: 1e-3 }),
+        oracle: Arc::new(SymRegOracle {
+            points: points.clone(),
+            tolerance: 1e-3,
+        }),
         features: symreg_features(&points),
         examples,
     }
@@ -181,7 +187,11 @@ impl SymRegDomain {
                 test.push(build_task(tpl, &mut rng));
             }
         }
-        SymRegDomain { primitives, train, test }
+        SymRegDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 
@@ -213,12 +223,18 @@ impl Domain for SymRegDomain {
         }
         let examples = points
             .iter()
-            .map(|&(x, y)| Example { inputs: vec![Value::Real(x)], output: Value::Real(y) })
+            .map(|&(x, y)| Example {
+                inputs: vec![Value::Real(x)],
+                output: Value::Real(y),
+            })
             .collect();
         Some(Task {
             name: "dream".to_owned(),
             request: request.clone(),
-            oracle: Arc::new(SymRegOracle { points: points.clone(), tolerance: 1e-3 }),
+            oracle: Arc::new(SymRegOracle {
+                points: points.clone(),
+                tolerance: 1e-3,
+            }),
             features: symreg_features(&points),
             examples,
         })
@@ -237,7 +253,10 @@ mod tests {
         let points: Vec<(f64, f64)> = XS.iter().map(|&x| (x, 2.0 * x - 1.0)).collect();
         let (a, b, e) = fit_parameters(&p, &points);
         assert!(e < 1e-6, "mse = {e}");
-        assert!((a - 2.0).abs() < 1e-3 && (b + 1.0).abs() < 1e-3, "a={a} b={b}");
+        assert!(
+            (a - 2.0).abs() < 1e-3 && (b + 1.0).abs() < 1e-3,
+            "a={a} b={b}"
+        );
     }
 
     #[test]
@@ -256,7 +275,10 @@ mod tests {
             .find(|t| t.name == "affine ax+b")
             .expect("affine task");
         assert!(affine.check(&linear));
-        assert!(!affine.check(&quad), "quadratic family shouldn't fit ax+b data exactly");
+        assert!(
+            !affine.check(&quad),
+            "quadratic family shouldn't fit ax+b data exactly"
+        );
     }
 
     #[test]

@@ -62,10 +62,12 @@ enum Source {
     Phone,
 }
 
+type TextFn = dyn Fn(&str) -> Option<String> + Send + Sync;
+
 struct Template {
     name: &'static str,
     source: Source,
-    f: Box<dyn Fn(&str) -> Option<String> + Send + Sync>,
+    f: Box<TextFn>,
 }
 
 fn templates() -> Vec<Template> {
@@ -74,13 +76,21 @@ fn templates() -> Vec<Template> {
         source: Source,
         f: impl Fn(&str) -> Option<String> + Send + Sync + 'static,
     ) -> Template {
-        Template { name, source, f: Box::new(f) }
+        Template {
+            name,
+            source,
+            f: Box::new(f),
+        }
     }
     vec![
         t("uppercase", Source::Name, |s| Some(s.to_uppercase())),
         t("identity", Source::Name, |s| Some(s.to_owned())),
-        t("first word", Source::Name, |s| s.split(' ').next().map(str::to_owned)),
-        t("last word", Source::Name, |s| s.split(' ').last().map(str::to_owned)),
+        t("first word", Source::Name, |s| {
+            s.split(' ').next().map(str::to_owned)
+        }),
+        t("last word", Source::Name, |s| {
+            s.split(' ').next_back().map(str::to_owned)
+        }),
         t("first word uppercased", Source::Name, |s| {
             s.split(' ').next().map(str::to_uppercase)
         }),
@@ -102,22 +112,32 @@ fn templates() -> Vec<Template> {
         t("join words with dash", Source::Name, |s| {
             Some(s.split(' ').collect::<Vec<_>>().join("-"))
         }),
-        t("year of date", Source::Date, |s| s.split('-').next().map(str::to_owned)),
-        t("month of date", Source::Date, |s| s.split('-').nth(1).map(str::to_owned)),
-        t("day of date", Source::Date, |s| s.split('-').nth(2).map(str::to_owned)),
+        t("year of date", Source::Date, |s| {
+            s.split('-').next().map(str::to_owned)
+        }),
+        t("month of date", Source::Date, |s| {
+            s.split('-').nth(1).map(str::to_owned)
+        }),
+        t("day of date", Source::Date, |s| {
+            s.split('-').nth(2).map(str::to_owned)
+        }),
         t("date with dots", Source::Date, |s| {
             Some(s.split('-').collect::<Vec<_>>().join("."))
         }),
         t("prefix of phone", Source::Phone, |s| {
             s.split('-').next().map(str::to_owned)
         }),
-        t("line of phone", Source::Phone, |s| s.split('-').nth(1).map(str::to_owned)),
+        t("line of phone", Source::Phone, |s| {
+            s.split('-').nth(1).map(str::to_owned)
+        }),
         t("phone without dash", Source::Phone, |s| {
             Some(s.split('-').collect::<Vec<_>>().concat())
         }),
-        t("double the string", Source::Name, |s| Some(format!("{s}{s}"))),
+        t("double the string", Source::Name, |s| {
+            Some(format!("{s}{s}"))
+        }),
         t("last word uppercased", Source::Name, |s| {
-            s.split(' ').last().map(str::to_uppercase)
+            s.split(' ').next_back().map(str::to_uppercase)
         }),
         t("drop first two characters", Source::Name, |s| {
             Some(s.chars().skip(2).collect())
@@ -162,7 +182,11 @@ impl TextDomain {
                 test.push(task);
             }
         }
-        TextDomain { primitives, train, test }
+        TextDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 
@@ -234,8 +258,8 @@ mod tests {
             ),
         ];
         for (name, src) in cases {
-            let program = Expr::parse(src, prims)
-                .unwrap_or_else(|e| panic!("parse failure for {name}: {e}"));
+            let program =
+                Expr::parse(src, prims).unwrap_or_else(|e| panic!("parse failure for {name}: {e}"));
             let task = d
                 .train_tasks()
                 .iter()

@@ -69,7 +69,11 @@ impl TowerState {
         if self.blocks.len() > 200 {
             return Err(EvalError::runtime("too many blocks"));
         }
-        let mut b = Block { x: self.hand, y: 0, horizontal };
+        let mut b = Block {
+            x: self.hand,
+            y: 0,
+            horizontal,
+        };
         let (l, r) = (b.x, b.x + b.width());
         let rest = self
             .blocks
@@ -160,7 +164,10 @@ pub fn tower_primitives() -> PrimitiveSet {
     ))
     .add(Primitive::function(
         "t-for",
-        Type::arrows(vec![tint(), Type::arrow(ttower(), ttower()), ttower()], ttower()),
+        Type::arrows(
+            vec![tint(), Type::arrow(ttower(), ttower()), ttower()],
+            ttower(),
+        ),
         |args, ctx| {
             let n = args[0].as_int()?;
             if !(0..=32).contains(&n) {
@@ -321,7 +328,11 @@ impl TowerDomain {
                 test.push(task);
             }
         }
-        TowerDomain { primitives, train, test }
+        TowerDomain {
+            primitives,
+            train,
+            test,
+        }
     }
 }
 

@@ -71,7 +71,10 @@ impl Task {
         Task {
             name: name.to_owned(),
             request,
-            oracle: Arc::new(IoOracle { examples: examples.clone(), fuel: 50_000 }),
+            oracle: Arc::new(IoOracle {
+                examples: examples.clone(),
+                fuel: 50_000,
+            }),
             features,
             examples,
         }
@@ -100,7 +103,9 @@ pub fn io_features(examples: &[Example], dim: usize) -> Vec<f64> {
     let mut out = vec![0.0; dim];
     let mut hasher = |tag: u64, payload: u64, weight: f64, out: &mut Vec<f64>| {
         // splitmix-style mixing
-        let mut z = tag.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(payload);
+        let mut z = tag
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(payload);
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         z ^= z >> 31;
@@ -179,8 +184,14 @@ mod tests {
             "double",
             Type::arrow(tlist(tint()), tlist(tint())),
             vec![
-                Example { inputs: vec![list(&[1, 2])], output: list(&[2, 4]) },
-                Example { inputs: vec![list(&[0])], output: list(&[0]) },
+                Example {
+                    inputs: vec![list(&[1, 2])],
+                    output: list(&[2, 4]),
+                },
+                Example {
+                    inputs: vec![list(&[0])],
+                    output: list(&[0]),
+                },
             ],
             vec![],
         );
@@ -196,7 +207,10 @@ mod tests {
         let task = Task::io(
             "anything",
             Type::arrow(tlist(tint()), tint()),
-            vec![Example { inputs: vec![list(&[1])], output: Value::Int(1) }],
+            vec![Example {
+                inputs: vec![list(&[1])],
+                output: Value::Int(1),
+            }],
             vec![],
         );
         assert!(!task.check(&crashy));
@@ -204,7 +218,10 @@ mod tests {
 
     #[test]
     fn features_have_fixed_dim_and_unit_norm() {
-        let ex = vec![Example { inputs: vec![list(&[1, 2, 3])], output: list(&[2, 4, 6]) }];
+        let ex = vec![Example {
+            inputs: vec![list(&[1, 2, 3])],
+            output: list(&[2, 4, 6]),
+        }];
         let f = io_features(&ex, 64);
         assert_eq!(f.len(), 64);
         let norm: f64 = f.iter().map(|v| v * v).sum();
@@ -213,8 +230,14 @@ mod tests {
 
     #[test]
     fn different_tasks_have_different_features() {
-        let a = vec![Example { inputs: vec![list(&[1, 2])], output: list(&[2, 4]) }];
-        let b = vec![Example { inputs: vec![list(&[5])], output: Value::Int(5).clone() }];
+        let a = vec![Example {
+            inputs: vec![list(&[1, 2])],
+            output: list(&[2, 4]),
+        }];
+        let b = vec![Example {
+            inputs: vec![list(&[5])],
+            output: Value::Int(5).clone(),
+        }];
         assert_ne!(io_features(&a, 64), io_features(&b, 64));
     }
 

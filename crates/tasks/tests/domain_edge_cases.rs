@@ -25,7 +25,11 @@ fn text_string_ops_handle_boundaries() {
     ];
     for (src, want) in cases {
         let e = Expr::parse(src, prims).unwrap();
-        assert_eq!(run_program(&e, &[], 10_000).unwrap(), Value::str(want), "{src}");
+        assert_eq!(
+            run_program(&e, &[], 10_000).unwrap(),
+            Value::str(want),
+            "{src}"
+        );
     }
 }
 
@@ -40,7 +44,10 @@ fn symreg_fit_handles_constant_and_unfittable_data() {
     assert!((a - 3.0).abs() < 1e-3);
     // But it cannot fit a line; the oracle must reject.
     let sloped: Vec<(f64, f64)> = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)].to_vec();
-    let oracle = SymRegOracle { points: sloped, tolerance: 1e-3 };
+    let oracle = SymRegOracle {
+        points: sloped,
+        tolerance: 1e-3,
+    };
     assert_eq!(oracle.log_likelihood(&constant), f64::NEG_INFINITY);
     let _ = symreg_request();
 }
@@ -96,14 +103,19 @@ fn tower_hand_bounds_are_enforced() {
         &prims,
     )
     .unwrap();
-    assert!(run_tower_program(&e, 100_000).is_err(), "hand must fall off the stage");
+    assert!(
+        run_tower_program(&e, 100_000).is_err(),
+        "hand must fall off the stage"
+    );
 }
 
 #[test]
 fn regex_empty_and_epsilon_behaviour() {
     // Star and Maybe accept the empty string; classes don't.
     assert!(Regex::Star(Arc::new(Regex::Digit)).log_prob("").is_finite());
-    assert!(Regex::Maybe(Arc::new(Regex::Digit)).log_prob("").is_finite());
+    assert!(Regex::Maybe(Arc::new(Regex::Digit))
+        .log_prob("")
+        .is_finite());
     assert_eq!(Regex::Digit.log_prob(""), f64::NEG_INFINITY);
     // Or of identical branches: same distribution as the branch.
     let branch = Regex::Const('x');

@@ -1,0 +1,110 @@
+//! Sharded atomic counters and gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of shards per counter. A small power of two: enough that rayon
+/// wake workers on different cores rarely contend on one cache line.
+const SHARDS: usize = 16;
+
+/// Pad each shard to its own cache line so concurrent increments from
+/// different threads do not false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    /// Per-thread shard index: threads hash their id once and stick to
+    /// that shard for every counter.
+    static SHARD: usize = {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        std::thread::current().id().hash(&mut hasher);
+        (hasher.finish() as usize) % SHARDS
+    };
+}
+
+/// Monotonic event counter, sharded across cache lines.
+///
+/// `add` is a single relaxed atomic add on the calling thread's shard;
+/// `value` sums all shards. Values are exact: increments are never lost,
+/// only the total is computed lazily.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Counter {
+        // `AtomicU64::new` is const; arrays of non-Copy consts need the
+        // inline-const repeat form.
+        Counter {
+            shards: [const { PaddedU64(AtomicU64::new(0)) }; SHARDS],
+        }
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        SHARD.with(|&s| self.shards[s].0.fetch_add(n, Ordering::Relaxed));
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Last-write-wins numeric gauge (stored as `f64` bits).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_shards() {
+        let c = Counter::new();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.value(), 4);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        assert_eq!(g.value(), 0.0);
+        g.set(2.5);
+        g.set(-1.25);
+        assert_eq!(g.value(), -1.25);
+    }
+}

@@ -1,0 +1,160 @@
+//! Lock-free log-bucketed timing histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One bucket per power of two of nanoseconds: bucket `i` holds samples
+/// in `[2^i, 2^(i+1))`, bucket 0 holds `[0, 2)`. 64 buckets cover any
+/// `u64` nanosecond count (~584 years).
+const BUCKETS: usize = 64;
+
+/// Concurrent histogram of durations (recorded in nanoseconds).
+///
+/// Buckets are powers of two, so quantiles are exact to within a factor
+/// of two — plenty for "where did the cycle's wall-clock go" questions,
+/// and recording is a couple of relaxed atomic adds with no locking.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a raw nanosecond sample.
+    pub fn record_ns(&self, ns: u64) {
+        let bucket = if ns < 2 {
+            0
+        } else {
+            63 - ns.leading_zeros() as usize
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a duration sample.
+    pub fn record(&self, duration: Duration) {
+        self.record_ns(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, in nanoseconds: the upper
+    /// bound of the bucket where the cumulative count crosses `q`, so the
+    /// true quantile is within a factor of two below the returned value.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) - 1, capped by max.
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bound_known_uniform_distribution() {
+        let h = Histogram::new();
+        for ns in 1..=1000u64 {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum_ns(), 500_500);
+        assert_eq!(h.max_ns(), 1000);
+        // True p50 = 500; log buckets may report up to the next power of
+        // two (1023) and never less than the true quantile.
+        let p50 = h.quantile_ns(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_ns(0.99);
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile_ns(1.0), 1000);
+    }
+
+    #[test]
+    fn point_mass_distribution_is_tight() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_ns(300);
+        }
+        // All mass in bucket [256, 512): every quantile reports within
+        // that bucket, capped at the observed max.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_ns(q), 300, "q = {q}");
+        }
+        assert_eq!(h.mean_ns(), 300.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn records_durations() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_ns(), 3000);
+    }
+}

@@ -178,7 +178,10 @@ fn propose_candidates(
     let mut proposals: Vec<CandidateProposal> = occurrences
         .into_values()
         .filter(|(body, tasks)| tasks.len() >= 2 && body.infer().is_ok())
-        .map(|(body, tasks)| CandidateProposal { body, occurrences: tasks.len() })
+        .map(|(body, tasks)| CandidateProposal {
+            body,
+            occurrences: tasks.len(),
+        })
         .collect();
     proposals.sort_by_key(|p| {
         (
@@ -238,19 +241,31 @@ pub fn compress(
         let mut arena = SpaceArena::new();
         let (program_spaces, proposals) =
             propose_candidates(&mut arena, &frontiers, &library, config);
+        dc_telemetry::add("compression.candidates_proposed", proposals.len() as u64);
+        dc_telemetry::set_gauge("compression.vspace_nodes", arena.len() as f64);
         if proposals.is_empty() {
             break;
         }
-        let debug = std::env::var("DC_DEBUG").is_ok();
-        if debug {
-            eprintln!(
-                "[compress] {} proposals; top: {:?}",
-                proposals.len(),
-                proposals
-                    .iter()
-                    .take(5)
-                    .map(|p| (p.body.to_string(), p.occurrences))
-                    .collect::<Vec<_>>()
+        if dc_telemetry::event_enabled(dc_telemetry::Level::Debug) {
+            dc_telemetry::event(
+                dc_telemetry::Level::Debug,
+                "compress.proposals",
+                &[
+                    ("count", proposals.len().into()),
+                    ("vspace_nodes", arena.len().into()),
+                    (
+                        "top",
+                        format!(
+                            "{:?}",
+                            proposals
+                                .iter()
+                                .take(5)
+                                .map(|p| (p.body.to_string(), p.occurrences))
+                                .collect::<Vec<_>>()
+                        )
+                        .into(),
+                    ),
+                ],
             );
         }
         let mut best: Option<(f64, Arc<Invented>, Vec<Frontier>, Grammar)> = None;
@@ -259,6 +274,7 @@ pub fn compress(
             let Ok(invention) = Invented::new(&name, proposal.body.clone()) else {
                 continue;
             };
+            let candidate_timer = dc_telemetry::time("compression.candidate_time");
             let mut lib2 = (*library).clone();
             lib2.push_invented(Arc::clone(&invention));
             let lib2 = Arc::new(lib2);
@@ -266,37 +282,48 @@ pub fn compress(
             let mut rewritten =
                 rewrite_frontiers(&arena, &frontiers, &program_spaces, &mut matcher);
             let (g2, score) = joint_score(&lib2, &mut rewritten, config);
-            if debug && score == f64::NEG_INFINITY {
+            dc_telemetry::incr("compression.candidates_scored");
+            if score == f64::NEG_INFINITY && dc_telemetry::event_enabled(dc_telemetry::Level::Warn)
+            {
                 for f in &rewritten {
                     for e in &f.entries {
                         if e.log_prior == f64::NEG_INFINITY {
-                            eprintln!(
-                                "[compress]   UNSCORABLE {} at {}",
-                                e.expr, f.request
+                            dc_telemetry::event(
+                                dc_telemetry::Level::Warn,
+                                "compress.unscorable",
+                                &[
+                                    ("expr", e.expr.to_string().into()),
+                                    ("request", f.request.to_string().into()),
+                                ],
                             );
                         }
                     }
                 }
             }
-            if debug {
-                eprintln!(
-                    "[compress]   candidate {} scores {:.3} (baseline {:.3}); rewrites: {}",
-                    invention.name,
-                    score,
-                    best_score,
-                    rewritten
-                        .iter()
-                        .flat_map(|f| f.entries.iter())
-                        .filter(|e| {
-                            e.expr
-                                .subexpressions()
-                                .iter()
-                                .any(|s| matches!(s, Expr::Invented(_)))
-                        })
-                        .count()
+            if dc_telemetry::event_enabled(dc_telemetry::Level::Debug) {
+                let rewrites = rewritten
+                    .iter()
+                    .flat_map(|f| f.entries.iter())
+                    .filter(|e| {
+                        e.expr
+                            .subexpressions()
+                            .iter()
+                            .any(|s| matches!(s, Expr::Invented(_)))
+                    })
+                    .count();
+                dc_telemetry::event(
+                    dc_telemetry::Level::Debug,
+                    "compress.candidate",
+                    &[
+                        ("name", invention.name.as_str().into()),
+                        ("score", score.into()),
+                        ("baseline", best_score.into()),
+                        ("rewrites", rewrites.into()),
+                    ],
                 );
             }
-            if best.as_ref().map_or(true, |(s, _, _, _)| score > *s) {
+            drop(candidate_timer);
+            if best.as_ref().is_none_or(|(s, _, _, _)| score > *s) {
                 best = Some((score, invention, rewritten, g2));
             }
         }
@@ -306,6 +333,16 @@ pub fn compress(
         if score <= best_score {
             break;
         }
+        dc_telemetry::incr("compression.inventions_accepted");
+        dc_telemetry::event(
+            dc_telemetry::Level::Info,
+            "compress.accept",
+            &[
+                ("name", invention.name.as_str().into()),
+                ("score_before", best_score.into()),
+                ("score_after", score.into()),
+            ],
+        );
         let mut lib2 = (*library).clone();
         lib2.push_invented(Arc::clone(&invention));
         library = Arc::new(lib2);
@@ -319,7 +356,12 @@ pub fn compress(
         grammar = g2;
     }
 
-    CompressionResult { library, grammar, frontiers, steps }
+    CompressionResult {
+        library,
+        grammar,
+        frontiers,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -373,8 +415,11 @@ mod tests {
             !result.steps.is_empty(),
             "expected compression to find the doubling abstraction"
         );
-        let names: Vec<String> =
-            result.steps.iter().map(|s| s.invention.body.to_string()).collect();
+        let names: Vec<String> = result
+            .steps
+            .iter()
+            .map(|s| s.invention.body.to_string())
+            .collect();
         assert!(
             names.iter().any(|n| n == "(lambda (+ $0 $0))"),
             "expected double, got {names:?}"
@@ -393,8 +438,10 @@ mod tests {
         let g = Grammar::uniform(Arc::clone(&lib));
         let t = tint();
         let sources = ["(+ 1 1)", "(+ 0 0)", "(* (+ 1 1) (+ 1 1))"];
-        let frontiers: Vec<Frontier> =
-            sources.iter().map(|s| frontier_of(s, t.clone(), &g)).collect();
+        let frontiers: Vec<Frontier> = sources
+            .iter()
+            .map(|s| frontier_of(s, t.clone(), &g))
+            .collect();
         let result = compress(&lib, &frontiers, &quick_config());
         for (f, src) in result.frontiers.iter().zip(&sources) {
             let original = Expr::parse(src, &prims).unwrap();

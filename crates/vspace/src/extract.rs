@@ -38,7 +38,11 @@ impl Matcher {
     /// Build a matcher for an invention whose body is the expression to
     /// look for inside version spaces.
     pub fn new(invention: Arc<Invented>) -> Matcher {
-        Matcher { expr: invention.body.clone(), invention, memo: HashMap::new() }
+        Matcher {
+            expr: invention.body.clone(),
+            invention,
+            memo: HashMap::new(),
+        }
     }
 
     /// The invention this matcher stands for.
@@ -129,14 +133,21 @@ impl SpaceArena {
         };
         let structural = match self.node(v) {
             SpaceNode::Void | SpaceNode::Universe => None,
-            SpaceNode::Index(i) => Some(Extraction { cost: 1, expr: Expr::Index(*i) }),
-            SpaceNode::Terminal(e) => Some(Extraction { cost: 1, expr: e.clone() }),
-            SpaceNode::Abstraction(b) => self
-                .extract_rec(*b, candidate.as_deref_mut(), memo)
-                .map(|body| Extraction {
-                    cost: 1 + body.cost,
-                    expr: Expr::abstraction(body.expr),
-                }),
+            SpaceNode::Index(i) => Some(Extraction {
+                cost: 1,
+                expr: Expr::Index(*i),
+            }),
+            SpaceNode::Terminal(e) => Some(Extraction {
+                cost: 1,
+                expr: e.clone(),
+            }),
+            SpaceNode::Abstraction(b) => {
+                self.extract_rec(*b, candidate.as_deref_mut(), memo)
+                    .map(|body| Extraction {
+                        cost: 1 + body.cost,
+                        expr: Expr::abstraction(body.expr),
+                    })
+            }
             SpaceNode::Application(f, x) => {
                 let (f, x) = (*f, *x);
                 let fe = self.extract_rec(f, candidate.as_deref_mut(), memo);
@@ -154,7 +165,7 @@ impl SpaceArena {
                 let mut best: Option<Extraction> = None;
                 for m in ms {
                     if let Some(e) = self.extract_rec(m, candidate.as_deref_mut(), memo) {
-                        if best.as_ref().map_or(true, |b| e.cost < b.cost) {
+                        if best.as_ref().is_none_or(|b| e.cost < b.cost) {
                             best = Some(e);
                         }
                     }
@@ -185,7 +196,9 @@ mod tests {
         let mut a = SpaceArena::new();
         let e = parse("(lambda (+ $0 1))");
         let v = a.incorporate(&e);
-        let got = a.minimal_inhabitant(v, None, &mut ExtractionMemo::new()).unwrap();
+        let got = a
+            .minimal_inhabitant(v, None, &mut ExtractionMemo::new())
+            .unwrap();
         assert_eq!(got.expr, e);
         assert_eq!(got.cost, e.size());
     }
@@ -198,7 +211,9 @@ mod tests {
         let vs = a.incorporate(&small);
         let vb = a.incorporate(&big);
         let u = a.union([vb, vs]);
-        let got = a.minimal_inhabitant(u, None, &mut ExtractionMemo::new()).unwrap();
+        let got = a
+            .minimal_inhabitant(u, None, &mut ExtractionMemo::new())
+            .unwrap();
         assert_eq!(got.expr, small);
     }
 
@@ -218,7 +233,9 @@ mod tests {
         assert_eq!(got.cost, 3, "expected (double 1), got {}", got.expr);
         assert_eq!(got.expr.to_string(), "(#(lambda (+ $0 $0)) 1)");
         // Without the candidate, the original is cheapest.
-        let plain = a.minimal_inhabitant(space, None, &mut ExtractionMemo::new()).unwrap();
+        let plain = a
+            .minimal_inhabitant(space, None, &mut ExtractionMemo::new())
+            .unwrap();
         assert_eq!(plain.expr, e);
     }
 
@@ -239,9 +256,13 @@ mod tests {
     fn universe_is_not_extractable() {
         let mut a = SpaceArena::new();
         let u = a.universe();
-        assert!(a.minimal_inhabitant(u, None, &mut ExtractionMemo::new()).is_none());
+        assert!(a
+            .minimal_inhabitant(u, None, &mut ExtractionMemo::new())
+            .is_none());
         let v = a.void();
-        assert!(a.minimal_inhabitant(v, None, &mut ExtractionMemo::new()).is_none());
+        assert!(a
+            .minimal_inhabitant(v, None, &mut ExtractionMemo::new())
+            .is_none());
     }
 
     #[test]

@@ -23,9 +23,9 @@ impl SpaceArena {
         }
         let mut acc: Vec<(SpaceId, Vec<SpaceId>)> = Vec::new();
         let push = |arena: &mut SpaceArena,
-                        acc: &mut Vec<(SpaceId, Vec<SpaceId>)>,
-                        value: SpaceId,
-                        body: SpaceId| {
+                    acc: &mut Vec<(SpaceId, Vec<SpaceId>)>,
+                    value: SpaceId,
+                    body: SpaceId| {
             if arena.node(value) == &SpaceNode::Void || arena.node(body) == &SpaceNode::Void {
                 return;
             }
@@ -54,7 +54,11 @@ impl SpaceArena {
             }
             SpaceNode::Index(i) => {
                 let u = self.universe();
-                let body = if i < k { self.index(i) } else { self.index(i + 1) };
+                let body = if i < k {
+                    self.index(i)
+                } else {
+                    self.index(i + 1)
+                };
                 push(self, &mut acc, u, body);
             }
             SpaceNode::Abstraction(b) => {
@@ -189,7 +193,10 @@ mod tests {
             let nf = m
                 .beta_normal_form(1_000)
                 .unwrap_or_else(|| panic!("no normal form for {m}"));
-            assert_eq!(&nf, original, "refactoring {m} does not reduce to {original}");
+            assert_eq!(
+                &nf, original,
+                "refactoring {m} does not reduce to {original}"
+            );
         }
     }
 

@@ -206,13 +206,11 @@ impl SpaceArena {
             (SpaceNode::Universe, _) => b,
             (_, SpaceNode::Universe) => a,
             (SpaceNode::Union(ms), _) => {
-                let parts: Vec<SpaceId> =
-                    ms.iter().map(|&m| self.intersect(m, b)).collect();
+                let parts: Vec<SpaceId> = ms.iter().map(|&m| self.intersect(m, b)).collect();
                 self.union(parts)
             }
             (_, SpaceNode::Union(ms)) => {
-                let parts: Vec<SpaceId> =
-                    ms.iter().map(|&m| self.intersect(a, m)).collect();
+                let parts: Vec<SpaceId> = ms.iter().map(|&m| self.intersect(a, m)).collect();
                 self.union(parts)
             }
             (SpaceNode::Index(i), SpaceNode::Index(j)) => {
@@ -275,8 +273,7 @@ impl SpaceArena {
                 self.application(fs, xs)
             }
             SpaceNode::Union(ms) => {
-                let parts: Vec<SpaceId> =
-                    ms.iter().map(|&m| self.downshift(m, k, c)).collect();
+                let parts: Vec<SpaceId> = ms.iter().map(|&m| self.downshift(m, k, c)).collect();
                 self.union(parts)
             }
         };

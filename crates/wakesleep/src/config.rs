@@ -38,7 +38,9 @@ impl Condition {
             self,
             Condition::Full
                 | Condition::NoCompression
-                | Condition::Memorize { with_recognition: true }
+                | Condition::Memorize {
+                    with_recognition: true
+                }
                 | Condition::Ec2
                 | Condition::NeuralOnly
         )
@@ -62,8 +64,12 @@ impl Condition {
             Condition::Full => "DreamCoder",
             Condition::NoRecognition => "No Recognition",
             Condition::NoCompression => "No Library",
-            Condition::Memorize { with_recognition: true } => "Memorize + Rec",
-            Condition::Memorize { with_recognition: false } => "Memorize",
+            Condition::Memorize {
+                with_recognition: true,
+            } => "Memorize + Rec",
+            Condition::Memorize {
+                with_recognition: false,
+            } => "Memorize",
             Condition::Ec => "EC",
             Condition::Ec2 => "EC2 (batched)",
             Condition::EnumerationOnly => "Enumeration",
@@ -186,8 +192,14 @@ mod tests {
             Condition::Full.label(),
             Condition::NoRecognition.label(),
             Condition::NoCompression.label(),
-            Condition::Memorize { with_recognition: true }.label(),
-            Condition::Memorize { with_recognition: false }.label(),
+            Condition::Memorize {
+                with_recognition: true,
+            }
+            .label(),
+            Condition::Memorize {
+                with_recognition: false,
+            }
+            .label(),
             Condition::Ec.label(),
             Condition::Ec2.label(),
             Condition::EnumerationOnly.label(),

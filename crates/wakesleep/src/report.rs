@@ -75,11 +75,10 @@ pub fn comparison_table(summaries: &[RunSummary]) -> String {
     for s in summaries {
         let mut row = vec![s.condition.clone()];
         for c in 0..cycles {
-            row.push(
-                s.cycles
-                    .get(c)
-                    .map_or_else(|| "-".to_owned(), |st| format!("{:.1}%", 100.0 * st.test_solved)),
-            );
+            row.push(s.cycles.get(c).map_or_else(
+                || "-".to_owned(),
+                |st| format!("{:.1}%", 100.0 * st.test_solved),
+            ));
         }
         row.push(s.library.len().to_string());
         rows.push(row);

@@ -123,8 +123,7 @@ impl<'d> DreamCoder<'d> {
             self.config.beam_size,
             &self.config.enumeration,
         );
-        let paired: Vec<(usize, TaskSearchResult)> =
-            indices.into_iter().zip(results).collect();
+        let paired: Vec<(usize, TaskSearchResult)> = indices.into_iter().zip(results).collect();
         for (i, result) in &paired {
             if result.frontier.is_empty() {
                 continue;
@@ -165,8 +164,11 @@ impl<'d> DreamCoder<'d> {
             self.frontiers.insert(k, f);
         }
         self.grammar = result.grammar;
-        let new: Vec<String> =
-            result.steps.iter().map(|s| s.invention.name.clone()).collect();
+        let new: Vec<String> = result
+            .steps
+            .iter()
+            .map(|s| s.invention.name.clone())
+            .collect();
         self.inventions.extend(new.clone());
         // The library changed: rebuild the recognition model's output head
         // over the new production set, keeping the learned hidden layers.
@@ -226,21 +228,29 @@ impl<'d> DreamCoder<'d> {
     pub fn run(&mut self) -> RunSummary {
         let mut cycles = Vec::new();
         for cycle in 0..self.config.cycles {
-            self.wake_cycle();
+            let cycle_timer = dc_telemetry::time("cycle.total");
+            {
+                let _wake = dc_telemetry::time("cycle.wake");
+                self.wake_cycle();
+            }
             let mut new_inventions = Vec::new();
-            if self.config.condition.uses_compression() {
-                new_inventions = self.abstraction_cycle();
-            } else if !self.frontiers.is_empty() {
-                // Still re-fit θ to the discovered programs (wake maximizes
-                // ℒ w.r.t. beams; θ update is free).
-                let fronts: Vec<Frontier> = self.frontiers.values().cloned().collect();
-                self.grammar = fit_grammar(
-                    &self.grammar.library,
-                    &fronts,
-                    self.config.compression.pseudocounts,
-                );
+            {
+                let _compression = dc_telemetry::time("cycle.compression");
+                if self.config.condition.uses_compression() {
+                    new_inventions = self.abstraction_cycle();
+                } else if !self.frontiers.is_empty() {
+                    // Still re-fit θ to the discovered programs (wake maximizes
+                    // ℒ w.r.t. beams; θ update is free).
+                    let fronts: Vec<Frontier> = self.frontiers.values().cloned().collect();
+                    self.grammar = fit_grammar(
+                        &self.grammar.library,
+                        &fronts,
+                        self.config.compression.pseudocounts,
+                    );
+                }
             }
             if self.config.condition.uses_recognition() {
+                let _dream = dc_telemetry::time("cycle.dream");
                 // The network predicts a residual on top of the current
                 // fitted generative weights (see RecognitionModel docs).
                 let bias = self.grammar.weights.clone();
@@ -249,14 +259,37 @@ impl<'d> DreamCoder<'d> {
                 }
                 self.dream_cycle();
             }
+            let eval_timer = dc_telemetry::time("cycle.eval");
             let (test_solved, times) =
                 self.evaluate(self.domain.test_tasks(), &self.config.test_enumeration);
+            drop(eval_timer);
             let mean = if times.is_empty() {
                 0.0
             } else {
                 times.iter().sum::<f64>() / times.len() as f64
             };
             let median = median(&times);
+            dc_telemetry::incr("cycle.count");
+            dc_telemetry::set_gauge("library.size", self.grammar.library.len() as f64);
+            dc_telemetry::set_gauge("library.depth", self.grammar.library.depth() as f64);
+            dc_telemetry::set_gauge("train.solved", self.frontiers.len() as f64);
+            dc_telemetry::set_gauge("test.solved_fraction", test_solved);
+            dc_telemetry::event(
+                dc_telemetry::Level::Info,
+                "cycle.complete",
+                &[
+                    ("cycle", cycle.into()),
+                    (
+                        "total_ms",
+                        (cycle_timer.elapsed().as_millis() as u64).into(),
+                    ),
+                    ("train_solved", self.frontiers.len().into()),
+                    ("test_solved", test_solved.into()),
+                    ("library_size", self.grammar.library.len().into()),
+                    ("new_inventions", new_inventions.len().into()),
+                ],
+            );
+            drop(cycle_timer);
             cycles.push(CycleStats {
                 cycle,
                 train_solved: self.frontiers.len(),
@@ -286,7 +319,7 @@ fn median(xs: &[f64]) -> f64 {
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         0.5 * (v[mid - 1] + v[mid])
     } else {
         v[mid]
@@ -331,15 +364,25 @@ mod tests {
 
     #[test]
     fn full_run_makes_progress_on_lists() {
-        let domain = ListDomain::new(0);
-        let mut dc = DreamCoder::new(&domain, quick_config(Condition::Full));
-        let summary = dc.run();
-        assert_eq!(summary.cycles.len(), 2);
-        assert!(
-            summary.cycles.last().unwrap().train_solved > 0,
-            "should solve some easy training tasks"
-        );
-        assert!(summary.cycles.last().unwrap().test_solved > 0.0);
+        // Version-space refactoring recurses deeply enough to overflow
+        // the default test-thread stack in unoptimized builds, so run
+        // the whole cycle on a thread with room to spare.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let domain = ListDomain::new(0);
+                let mut dc = DreamCoder::new(&domain, quick_config(Condition::Full));
+                let summary = dc.run();
+                assert_eq!(summary.cycles.len(), 2);
+                assert!(
+                    summary.cycles.last().unwrap().train_solved > 0,
+                    "should solve some easy training tasks"
+                );
+                assert!(summary.cycles.last().unwrap().test_solved > 0.0);
+            })
+            .expect("spawn test thread")
+            .join()
+            .expect("full run panicked");
     }
 
     #[test]
@@ -349,7 +392,10 @@ mod tests {
         let summary = dc.run();
         assert!(summary.library.is_empty());
         let sizes: Vec<usize> = summary.cycles.iter().map(|c| c.library_size).collect();
-        assert!(sizes.windows(2).all(|w| w[0] == w[1]), "library must not grow");
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "library must not grow"
+        );
     }
 
     #[test]
@@ -357,7 +403,9 @@ mod tests {
         let domain = ListDomain::new(0);
         let mut dc = DreamCoder::new(
             &domain,
-            quick_config(Condition::Memorize { with_recognition: false }),
+            quick_config(Condition::Memorize {
+                with_recognition: false,
+            }),
         );
         let summary = dc.run();
         let last = summary.cycles.last().unwrap();

@@ -32,7 +32,10 @@ pub fn abstraction_sleep(
     match condition {
         Condition::Memorize { .. } => memorize(library, frontiers, config),
         Condition::Ec | Condition::Ec2 => {
-            let cfg = CompressionConfig { refactor_steps: 0, ..config.clone() };
+            let cfg = CompressionConfig {
+                refactor_steps: 0,
+                ..config.clone()
+            };
             compress(library, frontiers, &cfg)
         }
         _ => compress(library, frontiers, config),
@@ -95,7 +98,12 @@ fn memorize(
         let request = f.request.clone();
         f.rescore(|e| grammar.log_prior(&request, e));
     }
-    CompressionResult { library: lib, grammar, frontiers: new_frontiers, steps }
+    CompressionResult {
+        library: lib,
+        grammar,
+        frontiers: new_frontiers,
+        steps,
+    }
 }
 
 /// Statistics from one dream sleep.
@@ -157,7 +165,11 @@ pub fn dream_sleep<R: Rng>(
         made += 1;
     }
     let final_loss = model.train(&examples, config.epochs, rng);
-    DreamStats { replays, fantasies: made, final_loss }
+    DreamStats {
+        replays,
+        fantasies: made,
+        final_loss,
+    }
 }
 
 /// Algorithm 3's inner step: enumerate in decreasing prior order and keep
@@ -168,13 +180,16 @@ fn map_program_for(
     timeout: std::time::Duration,
 ) -> Option<dc_lambda::expr::Expr> {
     use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
-    let cfg = EnumerationConfig { timeout: Some(timeout), ..EnumerationConfig::default() };
+    let cfg = EnumerationConfig {
+        timeout: Some(timeout),
+        ..EnumerationConfig::default()
+    };
     let mut best: Option<(dc_lambda::expr::Expr, f64)> = None;
     enumerate_programs(grammar, &task.request, &cfg, &mut |expr, prior| {
         let ll = task.oracle.log_likelihood(&expr);
         if ll.is_finite() {
             let post = ll + prior;
-            if best.as_ref().map_or(true, |(_, b)| post > *b) {
+            if best.as_ref().is_none_or(|(_, b)| post > *b) {
                 best = Some((expr, post));
             }
         }
@@ -188,9 +203,9 @@ mod tests {
     use super::*;
     use dc_grammar::frontier::FrontierEntry;
     use dc_lambda::primitives::base_primitives;
+    use dc_lambda::types::{tint, tlist, Type};
     use dc_recognition::{Objective, Parameterization};
     use dc_tasks::domains::list::ListDomain;
-    use dc_lambda::types::{tint, tlist, Type};
     use rand::SeedableRng;
 
     fn frontier_for(g: &Grammar, src: &str, request: Type) -> Frontier {
@@ -222,7 +237,9 @@ mod tests {
             &lib,
             &frontiers,
             &CompressionConfig::default(),
-            Condition::Memorize { with_recognition: false },
+            Condition::Memorize {
+                with_recognition: false,
+            },
         );
         assert_eq!(result.steps.len(), 2, "both solutions memorized verbatim");
         assert_eq!(result.library.len(), lib.len() + 2);
@@ -255,7 +272,11 @@ mod tests {
         assert!(
             result.steps.is_empty(),
             "EC should not discover refactoring-only abstractions: {:?}",
-            result.steps.iter().map(|s| s.invention.name.clone()).collect::<Vec<_>>()
+            result
+                .steps
+                .iter()
+                .map(|s| s.invention.name.clone())
+                .collect::<Vec<_>>()
         );
     }
 

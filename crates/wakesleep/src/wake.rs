@@ -63,11 +63,22 @@ pub fn search_task(
                 solve_time = Some(started.elapsed().as_secs_f64());
             }
             let log_prior = scorer.log_prior(&task.request, &expr);
-            frontier.insert(FrontierEntry { expr, log_likelihood, log_prior }, beam_size);
+            frontier.insert(
+                FrontierEntry {
+                    expr,
+                    log_likelihood,
+                    log_prior,
+                },
+                beam_size,
+            );
         }
         true
     });
-    TaskSearchResult { frontier, solve_time, programs_enumerated: enumerated }
+    TaskSearchResult {
+        frontier,
+        solve_time,
+        programs_enumerated: enumerated,
+    }
 }
 
 /// Search a batch of tasks in parallel.
@@ -121,8 +132,14 @@ mod tests {
             "head",
             Type::arrow(tlist(tint()), tint()),
             vec![
-                Example { inputs: vec![list(&[3, 1])], output: Value::Int(3) },
-                Example { inputs: vec![list(&[7, 2, 2])], output: Value::Int(7) },
+                Example {
+                    inputs: vec![list(&[3, 1])],
+                    output: Value::Int(3),
+                },
+                Example {
+                    inputs: vec![list(&[7, 2, 2])],
+                    output: Value::Int(7),
+                },
             ],
             vec![],
         );
@@ -141,7 +158,10 @@ mod tests {
         let task = Task::io(
             "identity",
             Type::arrow(tlist(tint()), tlist(tint())),
-            vec![Example { inputs: vec![list(&[1, 2])], output: list(&[1, 2]) }],
+            vec![Example {
+                inputs: vec![list(&[1, 2])],
+                output: list(&[1, 2]),
+            }],
             vec![],
         );
         let result = search_task(&task, &Guide::Generative(g.clone()), &g, 3, &quick(1500));
@@ -164,8 +184,14 @@ mod tests {
             "impossible",
             Type::arrow(tlist(tint()), tint()),
             vec![
-                Example { inputs: vec![list(&[1])], output: Value::Int(7919) },
-                Example { inputs: vec![list(&[2])], output: Value::Int(104729) },
+                Example {
+                    inputs: vec![list(&[1])],
+                    output: Value::Int(7919),
+                },
+                Example {
+                    inputs: vec![list(&[2])],
+                    output: Value::Int(104729),
+                },
             ],
             vec![],
         );
@@ -181,8 +207,14 @@ mod tests {
             "length",
             Type::arrow(tlist(tint()), tint()),
             vec![
-                Example { inputs: vec![list(&[3, 1, 4])], output: Value::Int(3) },
-                Example { inputs: vec![list(&[])], output: Value::Int(0) },
+                Example {
+                    inputs: vec![list(&[3, 1, 4])],
+                    output: Value::Int(3),
+                },
+                Example {
+                    inputs: vec![list(&[])],
+                    output: Value::Int(0),
+                },
             ],
             vec![],
         );

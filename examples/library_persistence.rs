@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = serde_json::to_string_pretty(&saved)?;
     std::fs::create_dir_all("results")?;
     std::fs::write("results/learned_list_grammar.json", &json)?;
-    println!("saved grammar to results/learned_list_grammar.json ({} bytes)", json.len());
+    println!(
+        "saved grammar to results/learned_list_grammar.json ({} bytes)",
+        json.len()
+    );
 
     // Reload it against the same primitive set and solve a task with it.
     let reloaded: dreamcoder::grammar::SavedGrammar = serde_json::from_str(&json)?;

@@ -15,7 +15,10 @@ use dreamcoder::wakesleep::{Condition, DreamCoder, DreamCoderConfig};
 
 fn main() {
     let domain = PhysicsDomain::new(0);
-    println!("physics domain: {} laws to explain", domain.train_tasks().len());
+    println!(
+        "physics domain: {} laws to explain",
+        domain.train_tasks().len()
+    );
 
     let config = DreamCoderConfig {
         condition: Condition::NoRecognition, // abstraction is the star here

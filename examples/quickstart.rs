@@ -70,7 +70,10 @@ fn main() {
     if let Some((idx, frontier)) = dc.frontiers.iter().next() {
         let task = &domain.train_tasks()[*idx];
         if let Some(best) = frontier.best() {
-            println!("\nexample solution for task {:?}:\n  {}", task.name, best.expr);
+            println!(
+                "\nexample solution for task {:?}:\n  {}",
+                task.name, best.expr
+            );
         }
     }
 }

@@ -51,7 +51,7 @@ fn main() {
             let ll = task.oracle.log_likelihood(&expr);
             if ll.is_finite() {
                 let posterior = ll + prior;
-                if best.as_ref().map_or(true, |(_, b)| posterior > *b) {
+                if best.as_ref().is_none_or(|(_, b)| posterior > *b) {
                     best = Some((expr, posterior));
                 }
             }

@@ -25,6 +25,7 @@
 //! | [`recognition`] | the MLP recognition model emitting `Q_ijk` tensors |
 //! | [`tasks`] | the eight evaluation domains + their simulator substrates |
 //! | [`wakesleep`] | the wake/sleep driver, baselines, and metrics |
+//! | [`telemetry`] | counters, gauges, timing histograms, JSONL events |
 //!
 //! ## Quickstart
 //!
@@ -46,5 +47,6 @@ pub use dc_grammar as grammar;
 pub use dc_lambda as lambda;
 pub use dc_recognition as recognition;
 pub use dc_tasks as tasks;
+pub use dc_telemetry as telemetry;
 pub use dc_vspace as vspace;
 pub use dc_wakesleep as wakesleep;

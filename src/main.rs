@@ -46,8 +46,12 @@ fn parse_condition(name: &str) -> Option<Condition> {
         "full" => Condition::Full,
         "no-recognition" | "no-rec" => Condition::NoRecognition,
         "no-compression" | "no-lib" => Condition::NoCompression,
-        "memorize" => Condition::Memorize { with_recognition: false },
-        "memorize-rec" => Condition::Memorize { with_recognition: true },
+        "memorize" => Condition::Memorize {
+            with_recognition: false,
+        },
+        "memorize-rec" => Condition::Memorize {
+            with_recognition: true,
+        },
         "ec" => Condition::Ec,
         "ec2" => Condition::Ec2,
         "enumeration" => Condition::EnumerationOnly,
@@ -67,7 +71,9 @@ impl Args {
             .cloned()
     }
     fn flag_u64(&self, name: &str, default: u64) -> u64 {
-        self.flag(name).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.flag(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -75,7 +81,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n\
          dreamcoder run --domain <name> [--cycles N] [--condition full|no-rec|no-lib|memorize|ec|ec2|enumeration|neural]\n\
-         \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N]\n\
+         \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N] [--events FILE]\n\
          dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
          dreamcoder domains"
     );
@@ -103,7 +109,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            let Some(domain_name) = args.flag("--domain") else { return usage() };
+            let Some(domain_name) = args.flag("--domain") else {
+                return usage();
+            };
             let Some(domain) = make_domain(&domain_name, args.flag_u64("--seed", 0)) else {
                 eprintln!("unknown domain {domain_name:?}; try `dreamcoder domains`");
                 return ExitCode::FAILURE;
@@ -133,8 +141,26 @@ fn main() -> ExitCode {
                 seed: args.flag_u64("--seed", 0),
                 ..DreamCoderConfig::default()
             };
+            // Metrics are on for every run; `--events FILE` additionally
+            // streams structured JSONL events (debug level) to FILE.
+            dreamcoder::telemetry::enable();
+            if let Some(events) = args.flag("--events") {
+                if let Err(e) = dreamcoder::telemetry::set_event_file(
+                    std::path::Path::new(&events),
+                    dreamcoder::telemetry::Level::Debug,
+                ) {
+                    eprintln!("cannot open event log {events:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
             let mut dc = DreamCoder::new(domain.as_ref(), config);
             let summary = dc.run();
+            let telemetry_path = std::path::Path::new("results/telemetry.json");
+            match dreamcoder::telemetry::export_to_file(telemetry_path) {
+                Ok(()) => println!("[telemetry written to {}]", telemetry_path.display()),
+                Err(e) => eprintln!("could not write telemetry: {e}"),
+            }
+            dreamcoder::telemetry::clear_event_sink();
             println!(
                 "{} on {}: final held-out accuracy {:.1}%",
                 summary.condition,
@@ -157,8 +183,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "solve" => {
-            let Some(domain_name) = args.flag("--domain") else { return usage() };
-            let Some(task_name) = args.flag("--task") else { return usage() };
+            let Some(domain_name) = args.flag("--domain") else {
+                return usage();
+            };
+            let Some(task_name) = args.flag("--task") else {
+                return usage();
+            };
             let Some(domain) = make_domain(&domain_name, 0) else {
                 eprintln!("unknown domain {domain_name:?}");
                 return ExitCode::FAILURE;
@@ -180,8 +210,13 @@ fn main() -> ExitCode {
                 timeout: Some(Duration::from_millis(args.flag_u64("--timeout-ms", 5000))),
                 ..EnumerationConfig::default()
             };
-            let result =
-                search_task(task, &Guide::Generative(grammar.clone()), &grammar, 5, &config);
+            let result = search_task(
+                task,
+                &Guide::Generative(grammar.clone()),
+                &grammar,
+                5,
+                &config,
+            );
             match result.frontier.best() {
                 Some(best) => {
                     println!(

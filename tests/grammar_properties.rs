@@ -4,11 +4,11 @@
 
 use std::sync::Arc;
 
-use dreamcoder::grammar::{
-    candidates, fit_grammar, generation_trace, ContextualGrammar, Frontier, FrontierEntry,
-    Grammar, Library,
-};
 use dreamcoder::grammar::library::BigramParent;
+use dreamcoder::grammar::{
+    candidates, fit_grammar, generation_trace, ContextualGrammar, Frontier, FrontierEntry, Grammar,
+    Library,
+};
 use dreamcoder::lambda::primitives::base_primitives;
 use dreamcoder::lambda::types::{tint, tlist, Context, Type};
 use dreamcoder::lambda::Expr;
@@ -72,7 +72,11 @@ fn candidate_probabilities_normalize_in_every_context() {
     let cg = ContextualGrammar::uniform(Arc::clone(&g.library));
     let ctx = Context::new();
     let env = [tint(), tlist(tint())];
-    for parent in [BigramParent::Start, BigramParent::Var, BigramParent::Prod(0)] {
+    for parent in [
+        BigramParent::Start,
+        BigramParent::Var,
+        BigramParent::Prod(0),
+    ] {
         for arg in 0..2 {
             for request in [tint(), tlist(tint())] {
                 let cands = candidates(&cg, parent, arg, &ctx, &env, &request);
@@ -132,8 +136,14 @@ fn deeper_requests_have_strictly_smaller_candidate_sets_when_constrained() {
     let (g, _) = setup();
     let ctx = Context::new();
     let ints = candidates(&g, BigramParent::Start, 0, &ctx, &[], &tint());
-    let bools =
-        candidates(&g, BigramParent::Start, 0, &ctx, &[], &dreamcoder::lambda::types::tbool());
+    let bools = candidates(
+        &g,
+        BigramParent::Start,
+        0,
+        &ctx,
+        &[],
+        &dreamcoder::lambda::types::tbool(),
+    );
     let int_names: Vec<String> = ints.iter().map(|c| c.expr.to_string()).collect();
     let bool_names: Vec<String> = bools.iter().map(|c| c.expr.to_string()).collect();
     assert!(int_names.contains(&"+".to_owned()));

@@ -9,8 +9,9 @@ use dreamcoder::grammar::{load_grammar, save_grammar, Grammar};
 use dreamcoder::lambda::{pretty, Expr, Invented};
 use dreamcoder::tasks::domains::list::ListDomain;
 use dreamcoder::tasks::Domain;
-use dreamcoder::wakesleep::{comparison_table, learning_curve, Condition, DreamCoder,
-    DreamCoderConfig};
+use dreamcoder::wakesleep::{
+    comparison_table, learning_curve, Condition, DreamCoder, DreamCoderConfig,
+};
 
 #[test]
 fn learned_grammar_round_trips_with_inventions() {

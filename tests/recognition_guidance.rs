@@ -33,7 +33,11 @@ fn trained_recognition_prefers_the_right_programs_per_task() {
     // Two distinguishable task families with known solutions.
     let add1 = Expr::parse("(lambda (map (lambda (+ $0 1)) $0))", &prims).unwrap();
     let tail = Expr::parse("(lambda (cdr $0))", &prims).unwrap();
-    let t_add = domain.train_tasks().iter().find(|t| t.name == "add1 to each").unwrap();
+    let t_add = domain
+        .train_tasks()
+        .iter()
+        .find(|t| t.name == "add1 to each")
+        .unwrap();
     let t_tail = domain
         .train_tasks()
         .iter()
@@ -61,9 +65,7 @@ fn trained_recognition_prefers_the_right_programs_per_task() {
         q_add.log_prior(&t_add.request, &add1) > q_tail.log_prior(&t_add.request, &add1),
         "recognition failed to condition on task features"
     );
-    assert!(
-        q_tail.log_prior(&t_tail.request, &tail) > q_add.log_prior(&t_tail.request, &tail)
-    );
+    assert!(q_tail.log_prior(&t_tail.request, &tail) > q_add.log_prior(&t_tail.request, &tail));
 }
 
 #[test]

@@ -135,7 +135,7 @@ fn rewriting_with_invention_preserves_io_behaviour() {
         .minimal_inhabitant(space, Some(&mut matcher), &mut ExtractionMemo::new())
         .expect("extractable");
     let input = Value::list(vec![Value::Int(3), Value::Int(4)]);
-    let want = run_program(&e, &[input.clone()], 100_000).unwrap();
+    let want = run_program(&e, std::slice::from_ref(&input), 100_000).unwrap();
     let got = run_program(&rewritten.expr, &[input], 100_000).unwrap();
     assert_eq!(got, want);
     assert!(rewritten.expr.to_string().contains("#double"));

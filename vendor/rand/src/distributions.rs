@@ -1,0 +1,44 @@
+//! The [`Distribution`] trait and the [`Standard`] distribution.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw a sample using `rng` as the source of randomness.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform over the full domain for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

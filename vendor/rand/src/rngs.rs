@@ -1,0 +1,57 @@
+//! Concrete generators: [`StdRng`] (xoshiro256++).
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++, seeded via
+/// SplitMix64. Fast, small-state, and statistically solid for the
+/// simulation workloads here.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = Self::rotl(self.s[3], 45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // A xoshiro state must not be all-zero.
+        if s == [0; 4] {
+            s = [
+                0x9e3779b97f4a7c15,
+                0x6a09e667f3bcc909,
+                0xbb67ae8584caa73b,
+                0x3c6ef372fe94f82b,
+            ];
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! Genuinely parallel: sources are random-access (`len`/`at`), and
+//! `collect` fans indices out over `std::thread::scope` workers, one
+//! contiguous chunk per thread, then concatenates chunks in order so
+//! results keep the input ordering exactly like upstream's indexed
+//! parallel iterators.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+/// Glob-import surface matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Random-access parallel iterator. `at` must be safe to call from many
+/// threads at once (hence `Sync`), each index exactly once overall.
+pub trait ParallelIterator: Sized + Sync {
+    /// Element type produced per index.
+    type Item: Send;
+
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Produce the element at `index`.
+    fn at(&self, index: usize) -> Self::Item;
+
+    /// Map each element through `f`.
+    fn map<R, F>(self, f: F) -> ParMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        ParMap { source: self, f }
+    }
+
+    /// Pair elements with another parallel iterator, truncating to the
+    /// shorter of the two.
+    fn zip<B: ParallelIterator>(self, other: B) -> ParZip<Self, B> {
+        ParZip { a: self, b: other }
+    }
+
+    /// Execute in parallel and gather results.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Drive `par` to completion and collect its items in order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Vec<T> {
+        run(&par)
+    }
+}
+
+fn run<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
+    let n = par.len();
+    let workers = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n < 2 {
+        return (0..n).map(|i| par.at(i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<P::Item> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                // Deep enumeration/evaluation recursion needs more than
+                // the 2 MiB spawn default, especially in debug builds.
+                std::thread::Builder::new()
+                    .name(format!("par-worker-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || {
+                        (start..end).map(|i| par.at(i)).collect::<Vec<_>>()
+                    })
+                    .expect("spawn parallel worker")
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Worker stack size: generous because callers run deeply recursive
+/// program enumeration and evaluation inside these threads.
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// `par_iter()` — borrow a collection as a parallel iterator.
+pub trait IntoParallelRefIterator<'d> {
+    /// Borrowed element type.
+    type Item: Send + 'd;
+    /// Iterator this borrows into.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`.
+    fn par_iter(&'d self) -> Self::Iter;
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for [T] {
+    type Item = &'d T;
+    type Iter = ParIter<'d, T>;
+    fn par_iter(&'d self) -> ParIter<'d, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'d, T: Sync + 'd> IntoParallelRefIterator<'d> for Vec<T> {
+    type Item = &'d T;
+    type Iter = ParIter<'d, T>;
+    fn par_iter(&'d self) -> ParIter<'d, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'d, T> {
+    slice: &'d [T],
+}
+
+impl<'d, T: Sync + 'd> ParallelIterator for ParIter<'d, T> {
+    type Item = &'d T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn at(&self, index: usize) -> &'d T {
+        let slice: &'d [T] = self.slice;
+        &slice[index]
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, R, F> ParallelIterator for ParMap<S, F>
+where
+    S: ParallelIterator,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    fn at(&self, index: usize) -> R {
+        (self.f)(self.source.at(index))
+    }
+}
+
+/// Result of [`ParallelIterator::zip`].
+pub struct ParZip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for ParZip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn at(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.at(index), self.b.at(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), xs.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![10, 20, 30];
+        let pairs: Vec<(i32, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| (*x, *y))
+            .collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let xs: Vec<u32> = (0..4096).collect();
+        let _: Vec<u32> = xs
+            .par_iter()
+            .map(|x| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                *x
+            })
+            .collect();
+        // With >1 hardware threads the scope must have used >1 workers.
+        if std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(seen.lock().unwrap().len() > 1);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! Instead of upstream's visitor-based data model, this vendored subset
+//! routes serialization through a single self-describing [`Content`]
+//! tree: `Serialize` lowers a value into `Content`, `Deserialize` lifts
+//! it back. The companion `serde_json` vendored crate renders `Content`
+//! as JSON text and parses JSON text back into `Content`. The derive
+//! macros (`#[derive(Serialize, Deserialize)]`) are re-exported from the
+//! `serde_derive` proc-macro crate and generate field-by-field
+//! `Content::Map` conversions for structs with named fields.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate tree all (de)serialization routes
+/// through. Maps preserve insertion order so struct fields serialize in
+/// declaration order, like upstream serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key/value map in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// View as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// View as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Error produced by (de)serialization.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can lower itself into [`Content`].
+pub trait Serialize {
+    /// Lower into the intermediate tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can lift itself out of [`Content`].
+pub trait Deserialize: Sized {
+    /// Lift from the intermediate tree.
+    ///
+    /// # Errors
+    /// When the tree's shape does not match `Self`.
+    fn from_content(content: &Content) -> Result<Self, Error>;
+}
+
+/// Look up a struct field in a `Content::Map`, treating a missing key as
+/// `Content::Null` (so `Option` fields tolerate omission). Used by the
+/// derive macro.
+///
+/// # Errors
+/// Propagates the field type's deserialization error.
+pub fn field<T: Deserialize>(entries: &[(String, Content)], name: &str) -> Result<T, Error> {
+    let content = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&Content::Null);
+    T::from_content(content).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        self.as_slice().to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                let err = || Error::custom(concat!("expected ", stringify!($t)));
+                match content {
+                    Content::I64(v) => <$t>::try_from(*v).map_err(|_| err()),
+                    Content::U64(v) => <$t>::try_from(*v).map_err(|_| err()),
+                    _ => Err(err()),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // Upstream serde_json writes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            other => Err(Error::custom(format!("expected f64, got {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!(
+                "expected single-char string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        T::from_content(content).map(Arc::new)
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected sequence of length {}, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_deserialize_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (the hermetic build has no
+//! `syn`/`quote`). Supports what the workspace actually derives:
+//!
+//! * structs with named fields — `Serialize` and `Deserialize` as
+//!   field-by-field `Content::Map` conversions;
+//! * enums whose variants are all units — (de)serialized as the variant
+//!   name string, matching upstream's external tagging for unit variants.
+//!
+//! Anything else (tuple structs, generic types, data-carrying enums)
+//! produces a compile error naming the limitation.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we managed to parse out of the derive input.
+enum Input {
+    /// Struct name + named field identifiers.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    UnitEnum(String, Vec<String>),
+    /// Unsupported shape, with a reason.
+    Unsupported(String),
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_meta(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Input::Unsupported("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Input::Unsupported("expected a type name".into()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Input::Unsupported(format!(
+                "`{name}` is generic; the vendored serde derive supports only non-generic types"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Input::Unsupported(format!(
+                "`{name}` has no braced body; tuple/unit structs are not supported"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => match parse_named_fields(body) {
+            Ok(fields) => Input::Struct(name, fields),
+            Err(e) => Input::Unsupported(e),
+        },
+        "enum" => match parse_unit_variants(body) {
+            Ok(variants) => Input::UnitEnum(name, variants),
+            Err(e) => Input::Unsupported(e),
+        },
+        other => Input::Unsupported(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Parse `vis? name: Type,` repeatedly, returning the field names. Types
+/// are skipped token-by-token, tracking `<`/`>` depth so commas inside
+/// generics do not terminate a field early.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err("expected a field name".into());
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{}`",
+                    fields.last().expect("field")
+                ))
+            }
+        }
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Parse `Name,` repeatedly; any variant payload is an error.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_meta(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            return Err("expected a variant name".into());
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{}` carries data; the vendored serde derive supports only unit enums",
+                    variants.last().expect("variant")
+                ))
+            }
+            Some(other) => return Err(format!("unexpected token {other} in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid compile_error")
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_content(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(::std::string::String::from(match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Unsupported(msg) => return compile_error(&msg),
+    };
+    generated.parse().expect("generated impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse_input(input) {
+        Input::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let entries = content.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(concat!(\"expected map for \", {name:?})))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::UnitEnum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown variant {{other:?}} for {name}\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Unsupported(msg) => return compile_error(&msg),
+    };
+    generated.parse().expect("generated impl parses")
+}

@@ -1,0 +1,230 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Provides [`to_string`] / [`to_string_pretty`] / [`from_str`] plus a
+//! [`Value`] tree, all routed through the vendored `serde` crate's
+//! `Content` model. Non-finite floats serialize as `null`, matching
+//! upstream's behaviour.
+
+#![allow(clippy::all, clippy::pedantic)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+mod parse;
+mod value;
+
+pub use value::{Number, Value};
+
+/// Map type used by [`Value::Object`].
+pub type Map = BTreeMap<String, Value>;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+///
+/// # Errors
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to an indented JSON string.
+///
+/// # Errors
+/// Never fails for the types in this workspace.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.to_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from a JSON string.
+///
+/// # Errors
+/// On malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let content = parse::parse(s)?;
+    Ok(T::from_content(&content)?)
+}
+
+/// Deserialize a value from JSON bytes.
+///
+/// # Errors
+/// On invalid UTF-8, malformed JSON, or a shape mismatch with `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(Error::msg)?;
+    from_str(s)
+}
+
+fn write_content(content: &Content, out: &mut String, indent: Option<usize>, level: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_content(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_escaped(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Keep integral floats recognizably floating-point, as upstream
+        // does ("1.0", not "1").
+        out.push_str(&format!("{v:.1}"));
+    } else {
+        // `{}` on f64 prints the shortest string that round-trips.
+        out.push_str(&v.to_string());
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&1i64).unwrap(), "1");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi\n").unwrap(), "\"hi\\n\"");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        let v: f64 = from_str("2.0").unwrap();
+        assert_eq!(v, 2.0);
+        let n: i64 = from_str("-42").unwrap();
+        assert_eq!(n, -42);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let xs = vec![1.0f64, -2.5, 3.25];
+        let json = to_string(&xs).unwrap();
+        let back: Vec<f64> = from_str(&json).unwrap();
+        assert_eq!(xs, back);
+
+        let pairs = vec![("a".to_owned(), 1u64), ("b".to_owned(), 2)];
+        let json = to_string(&pairs).unwrap();
+        let back: Vec<(String, u64)> = from_str(&json).unwrap();
+        assert_eq!(pairs, back);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let s = "quote \" backslash \\ newline \n tab \t unicode ❄".to_owned();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let value = vec![vec![1i64, 2], vec![3]];
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Vec<Vec<i64>> = from_str(&pretty).unwrap();
+        assert_eq!(value, back);
+    }
+
+    #[test]
+    fn value_parses_arbitrary_json() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x", null, true], "b": {"c": -3}}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["a"].as_array().unwrap().len(), 5);
+        assert_eq!(obj["b"].as_object().unwrap()["c"].as_i64(), Some(-3));
+    }
+}

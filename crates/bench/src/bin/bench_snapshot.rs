@@ -1,0 +1,290 @@
+//! `bench_snapshot` — the perf-trajectory benchmark.
+//!
+//! Runs three fixed workloads (enumeration, compression, evaluation) with
+//! deterministic budgets and emits a machine-readable snapshot
+//! (`BENCH_<n>.json`) holding wall-clock numbers, throughput, and the
+//! telemetry counters gathered while running. Successive PRs commit
+//! successive snapshots, so the repo accumulates a perf trajectory that
+//! CI (and reviewers) can diff.
+//!
+//! ```sh
+//! cargo run --release -p dc-bench --bin bench_snapshot             # full
+//! cargo run --release -p dc-bench --bin bench_snapshot -- --smoke  # tiny
+//! cargo run --release -p dc-bench --bin bench_snapshot -- \
+//!     --out BENCH_2.json --baseline results/bench_baseline.json
+//! ```
+//!
+//! `--baseline FILE` merges a previous snapshot in and adds
+//! `speedup_vs_baseline` per workload (baseline wall / current wall).
+//! The compression workload is additionally run with the worker cap
+//! forced to one thread, so each snapshot also records the parallel
+//! self-speedup on the machine that produced it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+use dc_grammar::frontier::{Frontier, FrontierEntry};
+use dc_grammar::grammar::Grammar;
+use dc_grammar::library::Library;
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::{tint, tlist, Type};
+use dc_vspace::{compress, CompressionConfig};
+use dc_wakesleep::{search_task, Guide};
+use serde::Serialize;
+use serde_json::Value;
+
+#[derive(Debug, Clone, Serialize)]
+struct WorkloadResult {
+    wall_ms: f64,
+    programs: Option<u64>,
+    programs_per_sec: Option<f64>,
+    inventions: Option<Vec<String>>,
+    tasks_solved: Option<u64>,
+    single_thread_wall_ms: Option<f64>,
+    parallel_self_speedup: Option<f64>,
+    speedup_vs_baseline: Option<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    schema: &'static str,
+    mode: &'static str,
+    threads: usize,
+    enumeration: WorkloadResult,
+    compression: WorkloadResult,
+    eval: WorkloadResult,
+    telemetry: Value,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// The fixed enumeration workload: enumerate `int` and `list int -> int`
+/// programs to a fixed description-length budget (no wall-clock timeout,
+/// so the measured work is identical on every machine).
+fn enumeration_workload(budget: f64) -> WorkloadResult {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let g = Grammar::uniform(lib);
+    let cfg = EnumerationConfig {
+        budget_start: 6.0,
+        budget_step: 1.5,
+        max_budget: budget,
+        max_depth: 16,
+        timeout: None,
+    };
+    let started = Instant::now();
+    let mut total = 0u64;
+    for request in [tint(), Type::arrow(tlist(tint()), tint())] {
+        total += enumerate_programs(&g, &request, &cfg, &mut |_, _| true) as u64;
+    }
+    let wall = started.elapsed();
+    WorkloadResult {
+        wall_ms: wall.as_secs_f64() * 1e3,
+        programs: Some(total),
+        programs_per_sec: Some(total as f64 / wall.as_secs_f64().max(1e-9)),
+        inventions: None,
+        tasks_solved: None,
+        single_thread_wall_ms: None,
+        parallel_self_speedup: None,
+        speedup_vs_baseline: None,
+    }
+}
+
+/// The fixed compression corpus: recursive list programs plus arithmetic
+/// sharing a doubling motif — large enough that candidate scoring (the
+/// hot loop) dominates.
+fn compression_corpus() -> (Arc<Library>, Vec<Frontier>) {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let g = Grammar::uniform(Arc::clone(&lib));
+    let tl = Type::arrow(tlist(tint()), tlist(tint()));
+    let ti = tint();
+    let sources: Vec<(&str, &Type)> = vec![
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (+ (car $0) (car $0)) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (- (car $0) 1) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (* (car $0) (car $0)) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (+ (car $0) 1) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        ("(+ 1 1)", &ti),
+        ("(+ 0 0)", &ti),
+        ("(* (+ 1 1) (+ 1 1))", &ti),
+        ("(+ (+ 1 1) (+ 1 1))", &ti),
+    ];
+    let frontiers = sources
+        .into_iter()
+        .map(|(src, request)| {
+            let e = Expr::parse(src, &prims).expect("workload program parses");
+            let mut f = Frontier::new(request.clone());
+            f.insert(
+                FrontierEntry {
+                    log_prior: g.log_prior(request, &e),
+                    log_likelihood: 0.0,
+                    expr: e,
+                },
+                5,
+            );
+            f
+        })
+        .collect();
+    (lib, frontiers)
+}
+
+fn run_compression(cfg: &CompressionConfig) -> (f64, Vec<String>) {
+    let (lib, frontiers) = compression_corpus();
+    let started = Instant::now();
+    let result = compress(&lib, &frontiers, cfg);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let names = result
+        .steps
+        .iter()
+        .map(|s| s.invention.body.to_string())
+        .collect();
+    (wall_ms, names)
+}
+
+fn compression_workload(smoke: bool) -> WorkloadResult {
+    let cfg = CompressionConfig {
+        refactor_steps: 2,
+        top_candidates: if smoke { 10 } else { 100 },
+        max_inventions: if smoke { 1 } else { 3 },
+        ..CompressionConfig::default()
+    };
+    let (wall_ms, inventions) = run_compression(&cfg);
+    // Same workload with the worker cap forced to one thread: the ratio is
+    // this machine's honest parallel self-speedup (~1.0 on a single core).
+    rayon::set_max_threads(Some(1));
+    let (single_ms, single_inventions) = run_compression(&cfg);
+    rayon::set_max_threads(None);
+    assert_eq!(
+        inventions, single_inventions,
+        "parallel and single-thread compression must accept identical inventions"
+    );
+    WorkloadResult {
+        wall_ms,
+        programs: None,
+        programs_per_sec: None,
+        inventions: Some(inventions),
+        tasks_solved: None,
+        single_thread_wall_ms: Some(single_ms),
+        parallel_self_speedup: Some(single_ms / wall_ms.max(1e-9)),
+        speedup_vs_baseline: None,
+    }
+}
+
+/// The fixed evaluation workload: solve the list domain's test split with
+/// a fixed enumeration timeout per task.
+fn eval_workload(per_task: Duration) -> WorkloadResult {
+    use dc_tasks::domains::list::ListDomain;
+    use dc_tasks::Domain;
+    let domain = ListDomain::new(0);
+    let g = Grammar::uniform(Arc::clone(&domain.initial_library()));
+    let cfg = EnumerationConfig {
+        timeout: Some(per_task),
+        ..EnumerationConfig::default()
+    };
+    let tasks = domain.test_tasks();
+    let started = Instant::now();
+    let solved = tasks
+        .iter()
+        .filter(|t| {
+            !search_task(t, &Guide::Generative(g.clone()), &g, 3, &cfg)
+                .frontier
+                .is_empty()
+        })
+        .count();
+    WorkloadResult {
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        programs: None,
+        programs_per_sec: None,
+        inventions: None,
+        tasks_solved: Some(solved as u64),
+        single_thread_wall_ms: None,
+        parallel_self_speedup: None,
+        speedup_vs_baseline: None,
+    }
+}
+
+fn baseline_wall(baseline: &Value, workload: &str) -> Option<f64> {
+    baseline.get(workload)?.get("wall_ms")?.as_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_2.json".to_owned());
+    let baseline: Option<Value> = flag(&args, "--baseline").map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}"))
+    });
+    dc_telemetry::enable();
+
+    eprintln!("[bench_snapshot] enumeration workload...");
+    let mut enumeration = enumeration_workload(if smoke { 10.0 } else { 13.5 });
+    eprintln!(
+        "  {:.0} ms, {} programs ({:.0}/s)",
+        enumeration.wall_ms,
+        enumeration.programs.unwrap_or(0),
+        enumeration.programs_per_sec.unwrap_or(0.0)
+    );
+
+    eprintln!("[bench_snapshot] compression workload...");
+    let mut compression = compression_workload(smoke);
+    eprintln!(
+        "  {:.0} ms, inventions: {:?}",
+        compression.wall_ms, compression.inventions
+    );
+
+    eprintln!("[bench_snapshot] eval workload...");
+    let mut eval = eval_workload(Duration::from_millis(if smoke { 50 } else { 400 }));
+    eprintln!(
+        "  {:.0} ms, {} tasks solved",
+        eval.wall_ms,
+        eval.tasks_solved.unwrap_or(0)
+    );
+
+    if let Some(b) = &baseline {
+        for (w, name) in [
+            (&mut enumeration, "enumeration"),
+            (&mut compression, "compression"),
+            (&mut eval, "eval"),
+        ] {
+            if let Some(before) = baseline_wall(b, name) {
+                w.speedup_vs_baseline = Some(before / w.wall_ms.max(1e-9));
+            }
+        }
+    }
+
+    let telemetry: Value =
+        serde_json::from_str(&dc_telemetry::export_json()).expect("telemetry JSON");
+    let snapshot = Snapshot {
+        schema: "dc-bench-snapshot/1",
+        mode: if smoke { "smoke" } else { "full" },
+        threads: rayon::current_num_threads(),
+        enumeration,
+        compression,
+        eval,
+        telemetry,
+    };
+    let json = serde_json::to_string_pretty(&snapshot).expect("serialize snapshot");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("[bench snapshot written to {out}]");
+}

@@ -7,12 +7,13 @@
 //! prior probability without any priority queue, and no program is emitted
 //! twice.
 
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 use dc_lambda::expr::Expr;
 use dc_lambda::types::{Context, Type};
 
-use crate::grammar::{candidates, ProgramPrior};
+use crate::grammar::{candidate_heads, commit_head, ProgramPrior};
 use crate::library::BigramParent;
 
 /// Controls for an enumeration run.
@@ -57,21 +58,22 @@ pub fn enumerate_programs(
     let mut windows = 0u64;
     let mut lower = 0.0;
     let mut upper = config.budget_start;
+    let deadline = config.timeout.map(|t| started + t);
     'outer: while lower < config.max_budget {
         windows += 1;
         let mut ctx = Context::starting_after(request);
-        let deadline = config.timeout.map(|t| started + t);
+        let ticker = DeadlineTicker::new(deadline);
         let keep_going = enum_request(
             prior,
             &mut ctx,
-            &Env::Nil,
+            &[],
             BigramParent::Start,
             0,
             request.clone(),
             lower,
             upper.min(config.max_budget),
             config.max_depth,
-            deadline,
+            &ticker,
             &mut |_, e, ll| {
                 emitted += 1;
                 callback(e, ll)
@@ -99,53 +101,81 @@ pub fn enumerate_programs(
     emitted
 }
 
-/// A persistent type environment (cons list) so recursion can extend it
-/// without cloning vectors.
-enum Env<'a> {
-    Nil,
-    Cons(Type, &'a Env<'a>),
+/// Poll the wall clock only every this many node expansions: per-node
+/// `Instant::now()` costs more than the expansion itself deep in the tree.
+const DEADLINE_CHECK_INTERVAL: u32 = 1024;
+
+/// Amortized deadline checks. Once expired, stays expired (the clock is
+/// never consulted again), so an exhausted run unwinds quickly. Interior
+/// mutability lets the recursion and its continuation closures share one
+/// ticker by plain `&` reference.
+struct DeadlineTicker {
+    deadline: Option<Instant>,
+    countdown: Cell<u32>,
+    expired: Cell<bool>,
 }
 
-impl<'a> Env<'a> {
-    fn to_vec(&self) -> Vec<Type> {
-        let mut out = Vec::new();
-        let mut cur = self;
-        while let Env::Cons(t, rest) = cur {
-            out.push(t.clone());
-            cur = rest;
+impl DeadlineTicker {
+    fn new(deadline: Option<Instant>) -> DeadlineTicker {
+        DeadlineTicker {
+            deadline,
+            countdown: Cell::new(DEADLINE_CHECK_INTERVAL),
+            expired: Cell::new(false),
         }
-        out
+    }
+
+    #[inline]
+    fn expired(&self) -> bool {
+        if self.expired.get() {
+            return true;
+        }
+        let Some(d) = self.deadline else {
+            return false;
+        };
+        let left = self.countdown.get();
+        if left > 0 {
+            self.countdown.set(left - 1);
+            return false;
+        }
+        self.countdown.set(DEADLINE_CHECK_INTERVAL);
+        let hit = Instant::now() >= d;
+        self.expired.set(hit);
+        hit
     }
 }
 
 /// Enumerate programs for `request`; `ret(ctx, expr, log_prior)` receives
 /// each. Returns `false` to propagate early exit.
+///
+/// `env` holds the bound-variable types innermost-first; it is built once
+/// per λ-extension and passed down by slice (the old cons-list rebuilt a
+/// `Vec` at every node underneath the binder).
 #[allow(clippy::too_many_arguments)]
 fn enum_request(
     prior: &dyn ProgramPrior,
     ctx: &mut Context,
-    env: &Env<'_>,
+    env: &[Type],
     parent: BigramParent,
     arg: usize,
     request: Type,
     lower: f64,
     upper: f64,
     depth: usize,
-    deadline: Option<Instant>,
+    ticker: &DeadlineTicker,
     ret: &mut dyn FnMut(&mut Context, Expr, f64) -> bool,
 ) -> bool {
     if upper <= 0.0 || depth == 0 {
         return true;
     }
-    if let Some(d) = deadline {
-        if Instant::now() >= d {
-            return false;
-        }
+    if ticker.expired() {
+        return false;
     }
     let request = request.apply(ctx);
     if let Some((a, b)) = request.as_arrow() {
         let (a, b) = (a.clone(), b.clone());
-        let env2 = Env::Cons(a, env);
+        let mut env2 = Vec::with_capacity(env.len() + 1);
+        env2.push(a);
+        env2.extend_from_slice(env);
         return enum_request(
             prior,
             ctx,
@@ -156,32 +186,39 @@ fn enum_request(
             lower,
             upper,
             depth,
-            deadline,
+            ticker,
             &mut |c, body, ll| ret(c, Expr::abstraction(body), ll),
         );
     }
-    let env_types = env.to_vec();
-    for cand in candidates(prior, parent, arg, ctx, &env_types, &request) {
-        let mdl = -cand.log_prob;
+    for head in candidate_heads(prior, parent, arg, ctx, env, &request) {
+        let mdl = -head.log_prob;
         if mdl >= upper {
             continue;
         }
-        let mut cctx = cand.ctx.clone();
+        // Commit the head's unification into the live context, explore its
+        // arguments, then roll back — where the old loop cloned the whole
+        // `Context` per candidate.
+        let cp = ctx.checkpoint();
+        let Ok(arg_types) = commit_head(prior, ctx, env, &request, &head) else {
+            ctx.rollback(cp);
+            continue;
+        };
         let keep = enum_applications(
             prior,
-            &mut cctx,
+            ctx,
             env,
-            cand.child_parent,
-            cand.expr.clone(),
-            cand.log_prob,
-            &cand.arg_types,
+            head.child_parent,
+            head.expr,
+            head.log_prob,
+            &arg_types,
             0,
-            lower + cand.log_prob,
-            upper + cand.log_prob,
+            lower + head.log_prob,
+            upper + head.log_prob,
             depth,
-            deadline,
+            ticker,
             ret,
         );
+        ctx.rollback(cp);
         if !keep {
             return false;
         }
@@ -193,7 +230,7 @@ fn enum_request(
 fn enum_applications(
     prior: &dyn ProgramPrior,
     ctx: &mut Context,
-    env: &Env<'_>,
+    env: &[Type],
     parent: BigramParent,
     f: Expr,
     f_ll: f64,
@@ -202,7 +239,7 @@ fn enum_applications(
     lower: f64,
     upper: f64,
     depth: usize,
-    deadline: Option<Instant>,
+    ticker: &DeadlineTicker,
     ret: &mut dyn FnMut(&mut Context, Expr, f64) -> bool,
 ) -> bool {
     let Some((first, rest)) = arg_types.split_first() else {
@@ -221,7 +258,7 @@ fn enum_applications(
         0.0,
         upper,
         depth - 1,
-        deadline,
+        ticker,
         &mut |ctx2, arg_expr, arg_ll| {
             enum_applications(
                 prior,
@@ -235,7 +272,7 @@ fn enum_applications(
                 lower + arg_ll,
                 upper + arg_ll,
                 depth,
-                deadline,
+                ticker,
                 ret,
             )
         },

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use dc_lambda::expr::Expr;
 use dc_lambda::types::{Context, Type};
 
-use crate::library::{logsumexp, BigramParent, Library, WeightVector};
+use crate::library::{BigramParent, Library, WeightVector};
 
 /// Anything that assigns (unnormalized) weights to productions given a
 /// bigram context. Implemented by [`Grammar`] (ignores context) and
@@ -131,16 +131,37 @@ pub struct Candidate {
     pub production: Option<usize>,
 }
 
+/// A feasible head, discovered by trial unification that was immediately
+/// rolled back: unlike [`Candidate`] it carries no cloned [`Context`] and
+/// no instantiated argument types. Expansion re-commits the head against
+/// the live context with [`commit_head`] — the allocation-lean protocol
+/// the enumerator's hot loop uses.
+#[derive(Debug, Clone)]
+pub struct CandidateHead {
+    /// Normalized log-probability of this choice.
+    pub log_prob: f64,
+    /// The chosen head (`Expr::Index`, `Expr::Primitive`, `Expr::Invented`).
+    pub expr: Expr,
+    /// Bigram parent context for generating the arguments.
+    pub child_parent: BigramParent,
+    /// Production index (`None` = a bound variable).
+    pub production: Option<usize>,
+}
+
 /// Enumerate the feasible heads for a hole of type `request` (a non-arrow
 /// type) in environment `env`, with normalized log-probabilities.
-pub fn candidates(
+///
+/// `ctx` is only mutated transiently: every trial unification is undone
+/// via checkpoint/rollback before returning, so on exit `ctx` is exactly
+/// as it came in (including the fresh-variable counter).
+pub fn candidate_heads(
     prior: &dyn ProgramPrior,
     parent: BigramParent,
     arg: usize,
-    ctx: &Context,
+    ctx: &mut Context,
     env: &[Type],
     request: &Type,
-) -> Vec<Candidate> {
+) -> Vec<CandidateHead> {
     let weights = prior.weights(parent, arg);
     let mut out = Vec::new();
     // Count unification failures locally; one batched counter update per
@@ -148,15 +169,14 @@ pub fn candidates(
     let mut unify_failures = 0u64;
     // Bound variables.
     for (i, env_ty) in env.iter().enumerate() {
-        let mut c = ctx.clone();
-        let t = env_ty.apply(&c);
-        if c.unify(t.returns(), request).is_ok() {
-            let arg_types = t.arguments().into_iter().cloned().collect();
-            out.push(Candidate {
+        let cp = ctx.checkpoint();
+        let t = env_ty.apply(ctx);
+        let feasible = ctx.unify(t.returns(), request).is_ok();
+        ctx.rollback(cp);
+        if feasible {
+            out.push(CandidateHead {
                 log_prob: weights.log_variable,
                 expr: Expr::Index(i),
-                arg_types,
-                ctx: c,
                 child_parent: BigramParent::Var,
                 production: None,
             });
@@ -166,15 +186,14 @@ pub fn candidates(
     }
     // Library productions.
     for (j, item) in prior.library().items.iter().enumerate() {
-        let mut c = ctx.clone();
-        let t = item.ty.instantiate(&mut c);
-        if c.unify(t.returns(), request).is_ok() {
-            let arg_types = t.arguments().into_iter().cloned().collect();
-            out.push(Candidate {
+        let cp = ctx.checkpoint();
+        let t = item.ty.instantiate(ctx);
+        let feasible = ctx.unify(t.returns(), request).is_ok();
+        ctx.rollback(cp);
+        if feasible {
+            out.push(CandidateHead {
                 log_prob: weights.log_productions[j],
                 expr: item.expr.clone(),
-                arg_types,
-                ctx: c,
                 child_parent: BigramParent::Prod(j),
                 production: Some(j),
             });
@@ -185,11 +204,80 @@ pub fn candidates(
     if unify_failures > 0 && dc_telemetry::is_enabled() {
         dc_telemetry::add("enumeration.unification_failures", unify_failures);
     }
-    let z = logsumexp(&out.iter().map(|c| c.log_prob).collect::<Vec<_>>());
-    for c in &mut out {
-        c.log_prob -= z;
+    // Normalize in place (log-sum-exp) without the scratch Vec the old
+    // implementation allocated per hole expansion.
+    let max = out.iter().fold(f64::NEG_INFINITY, |m, c| m.max(c.log_prob));
+    if max > f64::NEG_INFINITY {
+        let z = max
+            + out
+                .iter()
+                .map(|c| (c.log_prob - max).exp())
+                .sum::<f64>()
+                .ln();
+        for c in &mut out {
+            c.log_prob -= z;
+        }
     }
     out
+}
+
+/// Commit to a head previously discovered by [`candidate_heads`] under the
+/// *same* context state: re-instantiate its type, unify with `request`,
+/// and return the instantiated argument types. The unification bindings
+/// stay in `ctx` (callers checkpoint before and roll back after exploring
+/// the head's arguments).
+///
+/// # Errors
+/// Returns the unification error when the head is not feasible — only
+/// possible when `ctx` diverged from the state `candidate_heads` saw.
+pub fn commit_head(
+    prior: &dyn ProgramPrior,
+    ctx: &mut Context,
+    env: &[Type],
+    request: &Type,
+    head: &CandidateHead,
+) -> Result<Vec<Type>, dc_lambda::types::UnificationError> {
+    let t = match head.production {
+        Some(j) => prior.library().items[j].ty.instantiate(ctx),
+        None => match &head.expr {
+            Expr::Index(i) => env[*i].apply(ctx),
+            other => unreachable!("variable head must be an index, got {other}"),
+        },
+    };
+    ctx.unify(t.returns(), request)?;
+    Ok(t.arguments().into_iter().cloned().collect())
+}
+
+/// Enumerate the feasible heads for a hole of type `request` (a non-arrow
+/// type) in environment `env`, with normalized log-probabilities, each
+/// carrying the post-commit [`Context`]. Thin compatibility layer over
+/// [`candidate_heads`] + [`commit_head`] for callers that want every
+/// branch materialized; hot loops should use the head API directly.
+pub fn candidates(
+    prior: &dyn ProgramPrior,
+    parent: BigramParent,
+    arg: usize,
+    ctx: &Context,
+    env: &[Type],
+    request: &Type,
+) -> Vec<Candidate> {
+    let mut scratch = ctx.clone();
+    candidate_heads(prior, parent, arg, &mut scratch, env, request)
+        .into_iter()
+        .map(|head| {
+            let mut c = ctx.clone();
+            let arg_types = commit_head(prior, &mut c, env, request, &head)
+                .expect("head feasibility established under the same context");
+            Candidate {
+                log_prob: head.log_prob,
+                expr: head.expr,
+                arg_types,
+                ctx: c,
+                child_parent: head.child_parent,
+                production: head.production,
+            }
+        })
+        .collect()
 }
 
 /// A choice made during generation, with enough context to train a
@@ -265,28 +353,30 @@ fn walk(
         head = f;
     }
     spine.reverse();
-    let cands = candidates(prior, parent, arg, ctx, env, &request);
-    let feasible_prods: Vec<usize> = cands.iter().filter_map(|c| c.production).collect();
-    let feasible_vars = cands.iter().filter(|c| c.production.is_none()).count();
-    let cand = cands.into_iter().find(|c| &c.expr == head)?;
-    if cand.arg_types.len() != spine.len() {
+    let heads = candidate_heads(prior, parent, arg, ctx, env, &request);
+    let feasible_prods: Vec<usize> = heads.iter().filter_map(|c| c.production).collect();
+    let feasible_vars = heads.iter().filter(|c| c.production.is_none()).count();
+    let chosen = heads.into_iter().find(|c| &c.expr == head)?;
+    // Committing binds the head's unification into `ctx`; on the `None`
+    // paths below the whole trace is abandoned, so no rollback is needed.
+    let arg_types = commit_head(prior, ctx, env, &request, &chosen).ok()?;
+    if arg_types.len() != spine.len() {
         return None; // not eta-long
     }
     events.push(GenEvent {
         parent,
         arg,
-        chosen: cand.production,
+        chosen: chosen.production,
         feasible_prods,
         feasible_vars,
     });
-    let mut ll = cand.log_prob;
-    *ctx = cand.ctx;
-    for (k, (arg_expr, arg_ty)) in spine.iter().zip(cand.arg_types.iter()).enumerate() {
+    let mut ll = chosen.log_prob;
+    for (k, (arg_expr, arg_ty)) in spine.iter().zip(arg_types.iter()).enumerate() {
         ll += walk(
             prior,
             ctx,
             env,
-            cand.child_parent,
+            chosen.child_parent,
             k,
             arg_ty.clone(),
             arg_expr,
@@ -304,6 +394,7 @@ pub fn log_prior(prior: &dyn ProgramPrior, request: &Type, expr: &Expr) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::library::logsumexp;
     use dc_lambda::primitives::base_primitives;
     use dc_lambda::types::{tint, tlist};
 

@@ -257,9 +257,29 @@ impl std::error::Error for UnificationError {}
 
 /// A unification context: the current substitution plus a supply of fresh
 /// type variables.
+///
+/// Every binding insertion is recorded on an undo trail, so speculative
+/// unification can be wound back with [`Context::checkpoint`] /
+/// [`Context::rollback`] instead of cloning the whole substitution —
+/// the enumerator's hot path relies on this.
 #[derive(Debug, Clone, Default)]
 pub struct Context {
     substitution: HashMap<usize, Type>,
+    next_variable: usize,
+    /// Keys inserted into `substitution`, in insertion order. Unification
+    /// only ever binds previously-unbound variables (bound ones are
+    /// resolved by `walk` first), so undoing is plain key removal.
+    trail: Vec<usize>,
+}
+
+/// A point in a [`Context`]'s mutation history, produced by
+/// [`Context::checkpoint`] and consumed by [`Context::rollback`].
+///
+/// Rollback is only valid on the same context the checkpoint came from,
+/// and checkpoints must be unwound innermost-first (stack discipline).
+#[derive(Debug, Clone, Copy)]
+pub struct Checkpoint {
+    trail_len: usize,
     next_variable: usize,
 }
 
@@ -276,7 +296,36 @@ impl Context {
         Context {
             substitution: HashMap::new(),
             next_variable: next,
+            trail: Vec::new(),
         }
+    }
+
+    /// Record the current substitution size and variable counter.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            trail_len: self.trail.len(),
+            next_variable: self.next_variable,
+        }
+    }
+
+    /// Undo every binding and fresh variable allocated since `cp` was
+    /// taken. Bindings made before the checkpoint cannot mention
+    /// variables allocated after it (they did not exist yet), so removal
+    /// restores exactly the checkpointed substitution.
+    pub fn rollback(&mut self, cp: Checkpoint) {
+        debug_assert!(cp.trail_len <= self.trail.len(), "stale checkpoint");
+        while self.trail.len() > cp.trail_len {
+            let key = self.trail.pop().expect("trail length checked");
+            self.substitution.remove(&key);
+        }
+        self.next_variable = cp.next_variable;
+    }
+
+    /// Insert a binding, recording it on the undo trail.
+    fn bind(&mut self, var: usize, ty: Type) {
+        let prior = self.substitution.insert(var, ty);
+        debug_assert!(prior.is_none(), "rebinding variable t{var}");
+        self.trail.push(var);
     }
 
     /// Allocate a fresh type variable.
@@ -317,7 +366,7 @@ impl Context {
                 if b.occurs(*i, self) {
                     Err(self.error(&a, &b))
                 } else {
-                    self.substitution.insert(*i, b);
+                    self.bind(*i, b);
                     Ok(())
                 }
             }
@@ -325,7 +374,7 @@ impl Context {
                 if a.occurs(*j, self) {
                     Err(self.error(&a, &b))
                 } else {
-                    self.substitution.insert(*j, a);
+                    self.bind(*j, a);
                     Ok(())
                 }
             }
@@ -452,6 +501,39 @@ mod tests {
         // Original context unchanged: fresh unification still possible.
         let mut ctx2 = ctx.clone();
         ctx2.unify(&tvar(0), &tbool()).unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_bindings_and_counter() {
+        let mut ctx = Context::new();
+        let a = ctx.fresh_variable();
+        ctx.unify(&a, &tint()).unwrap();
+        let cp = ctx.checkpoint();
+        let b = ctx.fresh_variable();
+        ctx.unify(&b, &tlist(a.clone())).unwrap();
+        assert_eq!(b.apply(&ctx), tlist(tint()));
+        ctx.rollback(cp);
+        // Post-checkpoint binding gone, pre-checkpoint binding intact.
+        assert_eq!(b.apply(&ctx), b);
+        assert_eq!(a.apply(&ctx), tint());
+        // The variable counter rewound: the next fresh variable is `b` again.
+        assert_eq!(ctx.fresh_variable(), b);
+    }
+
+    #[test]
+    fn nested_checkpoints_unwind_in_stack_order() {
+        let mut ctx = Context::new();
+        let a = ctx.fresh_variable();
+        let cp_outer = ctx.checkpoint();
+        ctx.unify(&a, &tbool()).unwrap();
+        let cp_inner = ctx.checkpoint();
+        let b = ctx.fresh_variable();
+        ctx.unify(&b, &tint()).unwrap();
+        ctx.rollback(cp_inner);
+        assert_eq!(a.apply(&ctx), tbool());
+        assert_eq!(b.apply(&ctx), b);
+        ctx.rollback(cp_outer);
+        assert_eq!(a.apply(&ctx), a);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use dc_grammar::grammar::Grammar;
 use dc_grammar::inside_outside::fit_grammar;
 use dc_grammar::library::Library;
 use dc_lambda::expr::{Expr, Invented};
+use rayon::prelude::*;
 
-use crate::extract::ExtractionMemo;
+use crate::extract::{ExtractionMemo, Matcher};
 use crate::space::{SpaceArena, SpaceId, SpaceNode};
 
 /// Hyperparameters of abstraction sleep.
@@ -112,16 +113,76 @@ struct CandidateProposal {
     occurrences: usize,
 }
 
+/// One frontier's refactoring spaces. Each frontier owns its arena so
+/// space construction and candidate scoring parallelize without sharing
+/// mutable hash-cons state ([`SpaceId`]s are only meaningful within their
+/// own arena, as are the pointer-keyed extraction memos).
+struct FrontierSpaces {
+    arena: SpaceArena,
+    spaces: Vec<SpaceId>,
+}
+
+/// Build one frontier's refactoring spaces and collect its candidate
+/// routine bodies (keyed by printed form, deduplicated within the
+/// frontier).
+fn build_frontier_spaces(
+    f: &Frontier,
+    existing: &HashSet<String>,
+    config: &CompressionConfig,
+) -> (FrontierSpaces, HashMap<String, Expr>) {
+    let mut arena = SpaceArena::new();
+    let mut spaces = Vec::with_capacity(f.entries.len());
+    let mut bodies: HashMap<String, Expr> = HashMap::new();
+    for entry in &f.entries {
+        let space = arena.refactor(&entry.expr, config.refactor_steps);
+        for id in arena.reachable(space) {
+            if !matches!(arena.node(id), SpaceNode::Abstraction(_)) {
+                continue;
+            }
+            for sampled in arena.extension_sample(id, 4) {
+                // Propose the β-normal form: candidates with residual
+                // redexes are equivalent but print (and weigh) worse.
+                let Some(body) = sampled.beta_normal_form(1_000) else {
+                    continue;
+                };
+                if body.size() < config.min_candidate_size
+                    || !matches!(body, Expr::Abstraction(_))
+                    || !body.is_closed()
+                    || existing.contains(&body.to_string())
+                {
+                    continue;
+                }
+                // Pure variable-shuffling combinators (no primitive or
+                // invented leaf) occur in every program's refactorings
+                // but never compress anything: drop them early.
+                if !body
+                    .subexpressions()
+                    .iter()
+                    .any(|e| matches!(e, Expr::Primitive(_) | Expr::Invented(_)))
+                {
+                    continue;
+                }
+                bodies.entry(body.to_string()).or_insert(body);
+            }
+        }
+        spaces.push(space);
+    }
+    (FrontierSpaces { arena, spaces }, bodies)
+}
+
 /// Build refactoring spaces for every frontier program and propose the
 /// most promising candidate routines: closed, well-typed λ-abstractions
 /// sampled from the refactoring spaces of at least two distinct tasks,
 /// ranked by `occurrences × (size − 1)`.
+///
+/// Frontiers build in parallel; the merge runs sequentially in frontier
+/// order and the final ranking sorts on a total key (score, then printed
+/// body), so the proposal list is deterministic.
 fn propose_candidates(
-    arena: &mut SpaceArena,
     frontiers: &[Frontier],
     library: &Library,
     config: &CompressionConfig,
-) -> (Vec<Vec<SpaceId>>, Vec<CandidateProposal>) {
+) -> (Vec<FrontierSpaces>, Vec<CandidateProposal>) {
     let existing: HashSet<String> = library
         .items
         .iter()
@@ -130,50 +191,22 @@ fn propose_candidates(
             other => other.to_string(),
         })
         .collect();
-    let mut program_spaces: Vec<Vec<SpaceId>> = Vec::with_capacity(frontiers.len());
+    let built: Vec<(FrontierSpaces, HashMap<String, Expr>)> = frontiers
+        .par_iter()
+        .map(|f| build_frontier_spaces(f, &existing, config))
+        .collect();
+    let mut program_spaces: Vec<FrontierSpaces> = Vec::with_capacity(frontiers.len());
     // candidate body (printed) -> (body, tasks that can use it)
     let mut occurrences: HashMap<String, (Expr, HashSet<usize>)> = HashMap::new();
-    for (ti, f) in frontiers.iter().enumerate() {
-        let mut spaces = Vec::with_capacity(f.entries.len());
-        for entry in &f.entries {
-            let space = arena.refactor(&entry.expr, config.refactor_steps);
-            for id in arena.reachable(space) {
-                if !matches!(arena.node(id), SpaceNode::Abstraction(_)) {
-                    continue;
-                }
-                for sampled in arena.extension_sample(id, 4) {
-                    // Propose the β-normal form: candidates with residual
-                    // redexes are equivalent but print (and weigh) worse.
-                    let Some(body) = sampled.beta_normal_form(1_000) else {
-                        continue;
-                    };
-                    if body.size() < config.min_candidate_size
-                        || !matches!(body, Expr::Abstraction(_))
-                        || !body.is_closed()
-                        || existing.contains(&body.to_string())
-                    {
-                        continue;
-                    }
-                    // Pure variable-shuffling combinators (no primitive or
-                    // invented leaf) occur in every program's refactorings
-                    // but never compress anything: drop them early.
-                    if !body
-                        .subexpressions()
-                        .iter()
-                        .any(|e| matches!(e, Expr::Primitive(_) | Expr::Invented(_)))
-                    {
-                        continue;
-                    }
-                    occurrences
-                        .entry(body.to_string())
-                        .or_insert_with(|| (body, HashSet::new()))
-                        .1
-                        .insert(ti);
-                }
-            }
-            spaces.push(space);
+    for (ti, (fs, bodies)) in built.into_iter().enumerate() {
+        for (key, body) in bodies {
+            occurrences
+                .entry(key)
+                .or_insert_with(|| (body, HashSet::new()))
+                .1
+                .insert(ti);
         }
-        program_spaces.push(spaces);
+        program_spaces.push(fs);
     }
     let mut proposals: Vec<CandidateProposal> = occurrences
         .into_values()
@@ -196,21 +229,24 @@ fn propose_candidates(
 /// Rewrite every frontier in terms of `invention`, extracting the cheapest
 /// refactoring of each program and η-long-normalizing it so the grammar
 /// can score it. Programs that fail to rewrite keep their original form.
+/// The matcher and extraction memo are per-frontier because their caches
+/// key on [`SpaceId`]s (and expression pointers) of one arena.
 fn rewrite_frontiers(
-    arena: &SpaceArena,
     frontiers: &[Frontier],
-    program_spaces: &[Vec<SpaceId>],
-    matcher: &mut crate::extract::Matcher,
+    program_spaces: &[FrontierSpaces],
+    invention: &Arc<Invented>,
 ) -> Vec<Frontier> {
-    let mut memo = ExtractionMemo::new();
     frontiers
         .iter()
         .zip(program_spaces)
-        .map(|(f, spaces)| {
+        .map(|(f, fs)| {
+            let mut matcher = Matcher::new(Arc::clone(invention));
+            let mut memo = ExtractionMemo::new();
             let mut nf = Frontier::new(f.request.clone());
-            for (entry, &space) in f.entries.iter().zip(spaces) {
-                let rewritten = arena
-                    .minimal_inhabitant(space, Some(matcher), &mut memo)
+            for (entry, &space) in f.entries.iter().zip(&fs.spaces) {
+                let rewritten = fs
+                    .arena
+                    .minimal_inhabitant(space, Some(&mut matcher), &mut memo)
                     .and_then(|ex| eta_long(&ex.expr, &f.request))
                     .unwrap_or_else(|| entry.expr.clone());
                 nf.entries.push(dc_grammar::frontier::FrontierEntry {
@@ -238,11 +274,10 @@ pub fn compress(
     let (mut grammar, mut best_score) = joint_score(&library, &mut frontiers, config);
 
     for _ in 0..config.max_inventions {
-        let mut arena = SpaceArena::new();
-        let (program_spaces, proposals) =
-            propose_candidates(&mut arena, &frontiers, &library, config);
+        let (program_spaces, proposals) = propose_candidates(&frontiers, &library, config);
+        let vspace_nodes: usize = program_spaces.iter().map(|fs| fs.arena.len()).sum();
         dc_telemetry::add("compression.candidates_proposed", proposals.len() as u64);
-        dc_telemetry::set_gauge("compression.vspace_nodes", arena.len() as f64);
+        dc_telemetry::set_gauge("compression.vspace_nodes", vspace_nodes as f64);
         if proposals.is_empty() {
             break;
         }
@@ -252,7 +287,7 @@ pub fn compress(
                 "compress.proposals",
                 &[
                     ("count", proposals.len().into()),
-                    ("vspace_nodes", arena.len().into()),
+                    ("vspace_nodes", vspace_nodes.into()),
                     (
                         "top",
                         format!(
@@ -268,20 +303,23 @@ pub fn compress(
                 ],
             );
         }
-        let mut best: Option<(f64, Arc<Invented>, Vec<Frontier>, Grammar)> = None;
-        for proposal in &proposals {
+        // Score every proposal independently (telemetry counters are
+        // atomic, so they are parallel-safe), then reduce with a stable
+        // first-max: ties keep the lowest proposal index, replicating the
+        // sequential `score > best` loop regardless of thread arrival.
+        let score_proposal = |proposal: &CandidateProposal| {
             let name = format!("#{}", proposal.body);
-            let Ok(invention) = Invented::new(&name, proposal.body.clone()) else {
-                continue;
-            };
+            let invention = Invented::new(&name, proposal.body.clone()).ok()?;
             let candidate_timer = dc_telemetry::time("compression.candidate_time");
             let mut lib2 = (*library).clone();
             lib2.push_invented(Arc::clone(&invention));
             let lib2 = Arc::new(lib2);
-            let mut matcher = crate::extract::Matcher::new(Arc::clone(&invention));
-            let mut rewritten =
-                rewrite_frontiers(&arena, &frontiers, &program_spaces, &mut matcher);
+            let rewrite_timer = dc_telemetry::time("compression.rewrite_time");
+            let mut rewritten = rewrite_frontiers(&frontiers, &program_spaces, &invention);
+            drop(rewrite_timer);
+            let score_timer = dc_telemetry::time("compression.score_time");
             let (g2, score) = joint_score(&lib2, &mut rewritten, config);
+            drop(score_timer);
             dc_telemetry::incr("compression.candidates_scored");
             if score == f64::NEG_INFINITY && dc_telemetry::event_enabled(dc_telemetry::Level::Warn)
             {
@@ -323,10 +361,22 @@ pub fn compress(
                 );
             }
             drop(candidate_timer);
-            if best.as_ref().is_none_or(|(s, _, _, _)| score > *s) {
-                best = Some((score, invention, rewritten, g2));
-            }
-        }
+            Some((score, invention, rewritten, g2))
+        };
+        type Scored = Option<(f64, Arc<Invented>, Vec<Frontier>, Grammar)>;
+        let cmp_scored = |a: &Scored, b: &Scored| match (a, b) {
+            (None, None) => std::cmp::Ordering::Equal,
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            // NaN scores compare Equal, so the earlier index wins and the
+            // reduction stays deterministic even then.
+            (Some(x), Some(y)) => x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal),
+        };
+        let best = proposals
+            .par_iter()
+            .map(score_proposal)
+            .max_by_stable(cmp_scored)
+            .flatten();
         let Some((score, invention, rewritten, g2)) = best else {
             break;
         };

@@ -4,8 +4,15 @@
 //! being scored during abstraction sleep; any node whose extension
 //! contains the candidate's body may be replaced by the invention at
 //! cost 1.
+//!
+//! Extraction is two-phase: a cost-only pass over the space DAG records,
+//! per node, the minimal cost and which branch achieved it (dense `Vec`
+//! memos — [`SpaceId`]s are contiguous arena indices), then the winning
+//! expression is rebuilt top-down along the recorded choices only. The
+//! hot path of abstraction sleep runs this once per (proposal, frontier),
+//! so it allocates no expression nodes off the optimal path and touches
+//! no hash maps.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use dc_lambda::expr::{Expr, Invented};
@@ -22,26 +29,100 @@ pub struct Extraction {
     pub expr: Expr,
 }
 
-/// Memo table reusable across extractions with the same candidate.
-pub type ExtractionMemo = HashMap<SpaceId, Option<Extraction>>;
+/// Which branch achieved a node's minimal cost (enough to rebuild the
+/// winning expression without re-searching).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Choice {
+    /// Replace the whole node by the candidate invention.
+    Invention,
+    /// The node's own index/terminal expression.
+    Leaf,
+    /// Descend into the abstraction body.
+    Abstraction,
+    /// Descend into both application children.
+    Application,
+    /// The winning union member.
+    Union(SpaceId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+enum Slot {
+    #[default]
+    Unvisited,
+    Unreachable,
+    Done {
+        cost: u32,
+        choice: Choice,
+    },
+}
+
+/// Memo table reusable across extractions with the same candidate:
+/// a dense per-[`SpaceId`] table of minimal costs and winning choices.
+#[derive(Debug, Default)]
+pub struct ExtractionMemo {
+    slots: Vec<Slot>,
+}
+
+impl ExtractionMemo {
+    /// An empty memo.
+    pub fn new() -> ExtractionMemo {
+        ExtractionMemo::default()
+    }
+
+    #[inline]
+    fn get(&self, v: SpaceId) -> Slot {
+        self.slots.get(v).copied().unwrap_or(Slot::Unvisited)
+    }
+
+    #[inline]
+    fn set(&mut self, v: SpaceId, s: Slot) {
+        if v >= self.slots.len() {
+            self.slots.resize(v + 1, Slot::Unvisited);
+        }
+        self.slots[v] = s;
+    }
+}
+
+/// The candidate body's subterm structure, numbered so matcher memo keys
+/// are small dense integers instead of expression pointers.
+#[derive(Debug, Clone, Copy)]
+enum Pat {
+    Index(usize),
+    /// A primitive/invented leaf, or any subterm compared wholesale
+    /// against a terminal space node; the expression lives in
+    /// `Matcher::exprs` at the same index.
+    Leaf,
+    Abstraction(u32),
+    Application(u32, u32),
+}
 
 /// Memoized membership tester for one candidate expression: answers
 /// "does `⟦v⟧` contain this expression?" across many spaces cheaply.
+/// The memo is a dense three-state table over `(space, subterm)` pairs.
 #[derive(Debug)]
 pub struct Matcher {
-    expr: Expr,
     invention: Arc<Invented>,
-    memo: HashMap<(SpaceId, usize), bool>,
+    pats: Vec<Pat>,
+    exprs: Vec<Expr>,
+    memo: Vec<u8>,
 }
+
+const MATCH_UNKNOWN: u8 = 0;
+const MATCH_NO: u8 = 1;
+const MATCH_YES: u8 = 2;
 
 impl Matcher {
     /// Build a matcher for an invention whose body is the expression to
     /// look for inside version spaces.
     pub fn new(invention: Arc<Invented>) -> Matcher {
+        let mut pats = Vec::new();
+        let mut exprs = Vec::new();
+        number_subterms(&invention.body, &mut pats, &mut exprs);
         Matcher {
-            expr: invention.body.clone(),
             invention,
-            memo: HashMap::new(),
+            pats,
+            exprs,
+            memo: Vec::new(),
         }
     }
 
@@ -52,37 +133,61 @@ impl Matcher {
 
     /// Does `⟦v⟧` contain the candidate's body?
     pub fn matches(&mut self, arena: &SpaceArena, v: SpaceId) -> bool {
-        let expr = self.expr.clone();
-        self.matches_at(arena, v, &expr)
+        let root = (self.pats.len() - 1) as u32;
+        self.matches_at(arena, v, root)
     }
 
-    fn matches_at(&mut self, arena: &SpaceArena, v: SpaceId, e: &Expr) -> bool {
-        let key = (v, e as *const Expr as usize);
-        if let Some(&r) = self.memo.get(&key) {
-            return r;
+    fn matches_at(&mut self, arena: &SpaceArena, v: SpaceId, p: u32) -> bool {
+        let key = v * self.pats.len() + p as usize;
+        if key >= self.memo.len() {
+            self.memo.resize((v + 1) * self.pats.len(), MATCH_UNKNOWN);
         }
-        let r = match (arena.node(v), e) {
+        match self.memo[key] {
+            MATCH_NO => return false,
+            MATCH_YES => return true,
+            _ => {}
+        }
+        let pat = self.pats[p as usize];
+        let r = match (arena.node(v), pat) {
             (SpaceNode::Void, _) => false,
             (SpaceNode::Universe, _) => true,
             (SpaceNode::Union(ms), _) => {
                 let ms = ms.clone();
-                ms.iter().any(|&m| self.matches_at(arena, m, e))
+                ms.iter().any(|&m| self.matches_at(arena, m, p))
             }
-            (SpaceNode::Index(i), Expr::Index(j)) => i == j,
-            (SpaceNode::Terminal(t), _) => t == e,
-            (SpaceNode::Abstraction(b), Expr::Abstraction(eb)) => {
+            (SpaceNode::Index(i), Pat::Index(j)) => *i == j,
+            (SpaceNode::Terminal(t), _) => *t == self.exprs[p as usize],
+            (SpaceNode::Abstraction(b), Pat::Abstraction(pb)) => {
                 let b = *b;
-                self.matches_at(arena, b, eb)
+                self.matches_at(arena, b, pb)
             }
-            (SpaceNode::Application(f, x), Expr::Application(ef, ex)) => {
+            (SpaceNode::Application(f, x), Pat::Application(pf, px)) => {
                 let (f, x) = (*f, *x);
-                self.matches_at(arena, f, ef) && self.matches_at(arena, x, ex)
+                self.matches_at(arena, f, pf) && self.matches_at(arena, x, px)
             }
             _ => false,
         };
-        self.memo.insert(key, r);
+        self.memo[key] = if r { MATCH_YES } else { MATCH_NO };
         r
     }
+}
+
+/// Post-order-number `e`'s subterms into `pats`/`exprs`; returns the
+/// index assigned to `e` (the root ends up last).
+fn number_subterms(e: &Expr, pats: &mut Vec<Pat>, exprs: &mut Vec<Expr>) -> u32 {
+    let pat = match e {
+        Expr::Index(i) => Pat::Index(*i),
+        Expr::Primitive(_) | Expr::Invented(_) => Pat::Leaf,
+        Expr::Abstraction(b) => Pat::Abstraction(number_subterms(b, pats, exprs)),
+        Expr::Application(f, x) => {
+            let pf = number_subterms(f, pats, exprs);
+            let px = number_subterms(x, pats, exprs);
+            Pat::Application(pf, px)
+        }
+    };
+    pats.push(pat);
+    exprs.push(e.clone());
+    (pats.len() - 1) as u32
 }
 
 impl SpaceArena {
@@ -98,87 +203,121 @@ impl SpaceArena {
         candidate: Option<&mut Matcher>,
         memo: &mut ExtractionMemo,
     ) -> Option<Extraction> {
-        match candidate {
-            Some(m) => self.extract_rec(v, Some(m), memo),
-            None => self.extract_rec(v, None, memo),
+        let mut candidate = candidate;
+        self.compute_cost(v, &mut candidate, memo);
+        match memo.get(v) {
+            Slot::Done { cost, .. } => Some(Extraction {
+                cost: cost as usize,
+                expr: self.rebuild(v, &candidate, memo),
+            }),
+            _ => None,
         }
     }
 
-    fn extract_rec(
+    /// Cost-only pass: fill `memo` for `v` and everything below it. No
+    /// expressions are built here.
+    fn compute_cost(
         &self,
         v: SpaceId,
-        mut candidate: Option<&mut Matcher>,
+        candidate: &mut Option<&mut Matcher>,
         memo: &mut ExtractionMemo,
-    ) -> Option<Extraction> {
-        if let Some(cached) = memo.get(&v) {
-            return cached.clone();
+    ) {
+        if memo.get(v) != Slot::Unvisited {
+            return;
         }
         // Never materialize the invention at `Λ`: the universe "contains"
         // every expression, but an unconstrained slot (an unused redex
         // argument) should stay unextractable rather than be filled with
         // an arbitrary routine.
         let at_universe = matches!(self.node(v), SpaceNode::Universe);
-        let invention_here = match candidate.as_deref_mut() {
-            Some(m) if !at_universe => {
-                if m.matches(self, v) {
-                    Some(Extraction {
-                        cost: 1,
-                        expr: Expr::Invented(Arc::clone(m.invention())),
-                    })
-                } else {
-                    None
-                }
-            }
+        let invention_cost: Option<u32> = match candidate.as_deref_mut() {
+            Some(m) if !at_universe => m.matches(self, v).then_some(1),
             _ => None,
         };
-        let structural = match self.node(v) {
+        let structural: Option<(u32, Choice)> = match self.node(v) {
             SpaceNode::Void | SpaceNode::Universe => None,
-            SpaceNode::Index(i) => Some(Extraction {
-                cost: 1,
-                expr: Expr::Index(*i),
-            }),
-            SpaceNode::Terminal(e) => Some(Extraction {
-                cost: 1,
-                expr: e.clone(),
-            }),
+            SpaceNode::Index(_) | SpaceNode::Terminal(_) => Some((1, Choice::Leaf)),
             SpaceNode::Abstraction(b) => {
-                self.extract_rec(*b, candidate.as_deref_mut(), memo)
-                    .map(|body| Extraction {
-                        cost: 1 + body.cost,
-                        expr: Expr::abstraction(body.expr),
-                    })
+                let b = *b;
+                self.compute_cost(b, candidate, memo);
+                match memo.get(b) {
+                    Slot::Done { cost, .. } => Some((1 + cost, Choice::Abstraction)),
+                    _ => None,
+                }
             }
             SpaceNode::Application(f, x) => {
                 let (f, x) = (*f, *x);
-                let fe = self.extract_rec(f, candidate.as_deref_mut(), memo);
-                let xe = self.extract_rec(x, candidate.as_deref_mut(), memo);
-                match (fe, xe) {
-                    (Some(fe), Some(xe)) => Some(Extraction {
-                        cost: 1 + fe.cost + xe.cost,
-                        expr: Expr::application(fe.expr, xe.expr),
-                    }),
+                self.compute_cost(f, candidate, memo);
+                self.compute_cost(x, candidate, memo);
+                match (memo.get(f), memo.get(x)) {
+                    (Slot::Done { cost: cf, .. }, Slot::Done { cost: cx, .. }) => {
+                        Some((1 + cf + cx, Choice::Application))
+                    }
                     _ => None,
                 }
             }
             SpaceNode::Union(ms) => {
                 let ms = ms.clone();
-                let mut best: Option<Extraction> = None;
+                let mut best: Option<(u32, Choice)> = None;
                 for m in ms {
-                    if let Some(e) = self.extract_rec(m, candidate.as_deref_mut(), memo) {
-                        if best.as_ref().is_none_or(|b| e.cost < b.cost) {
-                            best = Some(e);
+                    self.compute_cost(m, candidate, memo);
+                    if let Slot::Done { cost, .. } = memo.get(m) {
+                        // Strict `<`: ties keep the first (lowest-id) member.
+                        if best.is_none_or(|(b, _)| cost < b) {
+                            best = Some((cost, Choice::Union(m)));
                         }
                     }
                 }
                 best
             }
         };
-        let result = match (invention_here, structural) {
-            (Some(a), Some(b)) => Some(if a.cost <= b.cost { a } else { b }),
-            (a, b) => a.or(b),
+        let slot = match (invention_cost, structural) {
+            // The invention wins ties so rewrites actually use it.
+            (Some(ic), Some((sc, _))) if ic <= sc => Slot::Done {
+                cost: ic,
+                choice: Choice::Invention,
+            },
+            (Some(ic), None) => Slot::Done {
+                cost: ic,
+                choice: Choice::Invention,
+            },
+            (_, Some((sc, choice))) => Slot::Done { cost: sc, choice },
+            (None, None) => Slot::Unreachable,
         };
-        memo.insert(v, result.clone());
-        result
+        memo.set(v, slot);
+    }
+
+    /// Rebuild the winning expression by following recorded choices —
+    /// allocation happens only along the optimal path.
+    fn rebuild(&self, v: SpaceId, candidate: &Option<&mut Matcher>, memo: &ExtractionMemo) -> Expr {
+        let Slot::Done { choice, .. } = memo.get(v) else {
+            unreachable!("rebuild called on unreachable space {v}");
+        };
+        match choice {
+            Choice::Invention => {
+                let m = candidate
+                    .as_ref()
+                    .expect("invention chosen only when a candidate was supplied");
+                Expr::Invented(Arc::clone(m.invention()))
+            }
+            Choice::Leaf => match self.node(v) {
+                SpaceNode::Index(i) => Expr::Index(*i),
+                SpaceNode::Terminal(e) => e.clone(),
+                other => unreachable!("leaf choice on non-leaf node {other:?}"),
+            },
+            Choice::Abstraction => match self.node(v) {
+                SpaceNode::Abstraction(b) => Expr::abstraction(self.rebuild(*b, candidate, memo)),
+                other => unreachable!("abstraction choice on {other:?}"),
+            },
+            Choice::Application => match self.node(v) {
+                SpaceNode::Application(f, x) => Expr::application(
+                    self.rebuild(*f, candidate, memo),
+                    self.rebuild(*x, candidate, memo),
+                ),
+                other => unreachable!("application choice on {other:?}"),
+            },
+            Choice::Union(m) => self.rebuild(m, candidate, memo),
+        }
     }
 }
 
@@ -277,5 +416,19 @@ mod tests {
         let r2 = a.minimal_inhabitant(s2, None, &mut memo).unwrap();
         assert_eq!(r1.expr, e1);
         assert_eq!(r2.expr, e2);
+    }
+
+    #[test]
+    fn terminal_nodes_match_whole_subterm_patterns() {
+        // A Terminal space node holding a compound expression must match
+        // the corresponding compound pattern subterm wholesale.
+        let mut a = SpaceArena::new();
+        let e = parse("(+ 1 1)");
+        let v = a.incorporate(&e);
+        let inv = Invented::new("#p", parse("(lambda (+ 1 1))")).unwrap();
+        let mut m = Matcher::new(inv);
+        // Somewhere in the incorporated space the body (+ 1 1) appears;
+        // the matcher's root is (λ (+ 1 1)) which does not.
+        assert!(!m.matches(&a, v));
     }
 }

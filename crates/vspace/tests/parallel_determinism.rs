@@ -1,0 +1,117 @@
+//! Parallel compression must be bit-for-bit deterministic: a run with the
+//! worker count forced to 1 (via the `DC_THREADS` env var, then via
+//! `rayon::set_max_threads`) and a run at full parallelism must accept
+//! the same inventions, in the same order, with the same scores, and
+//! rewrite the corpus to the same programs. Candidate selection ties
+//! break on proposal order, never on thread arrival.
+
+use std::sync::Arc;
+
+use dc_grammar::frontier::{Frontier, FrontierEntry};
+use dc_grammar::grammar::Grammar;
+use dc_grammar::library::Library;
+use dc_lambda::expr::Expr;
+use dc_lambda::primitives::base_primitives;
+use dc_lambda::types::{tint, tlist, Type};
+use dc_vspace::{compress, CompressionConfig, CompressionResult};
+
+fn list_corpus() -> (Arc<Library>, Vec<Frontier>) {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let g = Grammar::uniform(Arc::clone(&lib));
+    let tl = Type::arrow(tlist(tint()), tlist(tint()));
+    let ti = tint();
+    let sources: Vec<(&str, &Type)> = vec![
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (+ (car $0) (car $0)) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        (
+            "(lambda (fix (lambda (lambda (if (is-nil $0) nil (cons (- (car $0) 1) ($1 (cdr $0)))))) $0))",
+            &tl,
+        ),
+        ("(+ 1 1)", &ti),
+        ("(+ 0 0)", &ti),
+        ("(+ (+ 1 1) (+ 1 1))", &ti),
+    ];
+    let frontiers = sources
+        .into_iter()
+        .map(|(src, request)| {
+            let e = Expr::parse(src, &prims).expect("corpus program parses");
+            let mut f = Frontier::new(request.clone());
+            f.insert(
+                FrontierEntry {
+                    log_prior: g.log_prior(request, &e),
+                    log_likelihood: 0.0,
+                    expr: e,
+                },
+                5,
+            );
+            f
+        })
+        .collect();
+    (lib, frontiers)
+}
+
+/// Everything observable about a compression run, with scores kept as
+/// exact bit patterns so "identical" means identical floating point.
+#[allow(clippy::type_complexity)]
+fn summarize(r: &CompressionResult) -> (Vec<(String, u64, u64)>, Vec<String>, Vec<String>) {
+    let steps = r
+        .steps
+        .iter()
+        .map(|s| {
+            (
+                s.invention.body.to_string(),
+                s.score_before.to_bits(),
+                s.score_after.to_bits(),
+            )
+        })
+        .collect();
+    let library = r
+        .library
+        .items
+        .iter()
+        .map(|it| it.expr.to_string())
+        .collect();
+    let programs = r
+        .frontiers
+        .iter()
+        .flat_map(|f| f.entries.iter().map(|e| e.expr.to_string()))
+        .collect();
+    (steps, library, programs)
+}
+
+#[test]
+fn parallel_compression_matches_single_thread() {
+    let (lib, frontiers) = list_corpus();
+    let cfg = CompressionConfig {
+        refactor_steps: 2,
+        top_candidates: 60,
+        max_inventions: 3,
+        structure_penalty: 0.3,
+        ..CompressionConfig::default()
+    };
+
+    // Forced single-thread via the env var (the documented user-facing
+    // cap). This test binary has exactly one test, so no other thread
+    // races the environment.
+    std::env::set_var("DC_THREADS", "1");
+    let sequential = compress(&lib, &frontiers, &cfg);
+    std::env::remove_var("DC_THREADS");
+
+    // And once more through the programmatic cap, which takes precedence.
+    rayon::set_max_threads(Some(1));
+    let sequential_api = compress(&lib, &frontiers, &cfg);
+    rayon::set_max_threads(None);
+
+    // Full parallelism (available_parallelism workers).
+    let parallel = compress(&lib, &frontiers, &cfg);
+
+    assert!(
+        !sequential.steps.is_empty(),
+        "corpus must compress for the test to be meaningful"
+    );
+    assert_eq!(summarize(&sequential), summarize(&parallel));
+    assert_eq!(summarize(&sequential_api), summarize(&parallel));
+}

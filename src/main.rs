@@ -81,9 +81,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n\
          dreamcoder run --domain <name> [--cycles N] [--condition full|no-rec|no-lib|memorize|ec|ec2|enumeration|neural]\n\
-         \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N] [--events FILE]\n\
+         \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N] [--events FILE] [--threads N]\n\
          dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
-         dreamcoder domains"
+         dreamcoder domains\n\
+         \n\
+         worker threads default to the machine's parallelism; cap them with\n\
+         --threads N or the DC_THREADS env var (--threads wins)."
     );
     ExitCode::FAILURE
 }
@@ -112,6 +115,15 @@ fn main() -> ExitCode {
             let Some(domain_name) = args.flag("--domain") else {
                 return usage();
             };
+            if let Some(threads) = args.flag("--threads") {
+                match threads.parse::<usize>() {
+                    Ok(n) if n > 0 => rayon::set_max_threads(Some(n)),
+                    _ => {
+                        eprintln!("--threads must be a positive integer, got {threads:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             let Some(domain) = make_domain(&domain_name, args.flag_u64("--seed", 0)) else {
                 eprintln!("unknown domain {domain_name:?}; try `dreamcoder domains`");
                 return ExitCode::FAILURE;

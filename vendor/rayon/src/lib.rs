@@ -8,9 +8,49 @@
 
 #![allow(clippy::all, clippy::pedantic)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Glob-import surface matching `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Process-wide worker cap; 0 means "unset" (fall back to the
+/// `DC_THREADS` env var, then `available_parallelism`).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap the number of worker threads for every subsequent parallel call.
+/// `None` restores the default cascade (`DC_THREADS`, then
+/// `available_parallelism`). Subset extension: upstream rayon configures
+/// this through `ThreadPoolBuilder`; this crate has no pool to build.
+pub fn set_max_threads(cap: Option<usize>) {
+    MAX_THREADS.store(cap.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The number of worker threads parallel calls will currently use:
+/// [`set_max_threads`] override, else `DC_THREADS`, else
+/// `available_parallelism`.
+pub fn current_num_threads() -> usize {
+    let explicit = MAX_THREADS.load(Ordering::SeqCst);
+    let env = std::env::var("DC_THREADS").ok();
+    resolve_workers(explicit, env.as_deref())
+}
+
+/// Pure worker-count cascade, split out for unit testing.
+fn resolve_workers(explicit: usize, env: Option<&str>) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = env.and_then(|s| s.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
 }
 
 /// Random-access parallel iterator. `at` must be safe to call from many
@@ -44,6 +84,39 @@ pub trait ParallelIterator: Sized + Sync {
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
         C::from_par_iter(self)
     }
+
+    /// Largest element under `compare`. Ties keep the element with the
+    /// **lowest index** — selection depends only on input order, never on
+    /// thread arrival, which is what deterministic argmax reductions want.
+    /// (Subset note: upstream's `max_by` keeps the *last* max; callers
+    /// here need the sequential `score > best` semantics instead.)
+    fn max_by_stable<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> std::cmp::Ordering + Sync,
+    {
+        use std::cmp::Ordering::Greater;
+        let per_chunk = run_chunked(&self, |start, end| {
+            let mut best: Option<Self::Item> = None;
+            for i in start..end {
+                let item = self.at(i);
+                match &best {
+                    Some(b) if compare(&item, b) != Greater => {}
+                    _ => best = Some(item),
+                }
+            }
+            best
+        });
+        // Chunks come back in index order, so an in-order fold that only
+        // replaces on strictly-greater keeps the earliest maximum.
+        let mut best: Option<Self::Item> = None;
+        for cand in per_chunk.into_iter().flatten() {
+            match &best {
+                Some(b) if compare(&cand, b) != Greater => {}
+                _ => best = Some(cand),
+            }
+        }
+        best
+    }
 }
 
 /// Collection buildable from a parallel iterator.
@@ -60,16 +133,33 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 
 fn run<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
     let n = par.len();
-    let workers = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(n.max(1));
+    let mut out: Vec<P::Item> = Vec::with_capacity(n);
+    for chunk in run_chunked(par, |start, end| {
+        (start..end).map(|i| par.at(i)).collect::<Vec<_>>()
+    }) {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Split `0..par.len()` into one contiguous chunk per worker, run `work`
+/// on each chunk in parallel, and return the per-chunk results **in chunk
+/// (= index) order** regardless of which thread finished first.
+fn run_chunked<P, R, W>(par: &P, work: W) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    W: Fn(usize, usize) -> R + Sync,
+{
+    let n = par.len();
+    let workers = current_num_threads().min(n.max(1));
     if workers <= 1 || n < 2 {
-        return (0..n).map(|i| par.at(i)).collect();
+        return if n == 0 { Vec::new() } else { vec![work(0, n)] };
     }
     let chunk = n.div_ceil(workers);
-    let mut out: Vec<P::Item> = Vec::with_capacity(n);
+    let mut out: Vec<R> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
+        let work = &work;
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let start = w * chunk;
@@ -79,14 +169,12 @@ fn run<P: ParallelIterator>(par: &P) -> Vec<P::Item> {
                 std::thread::Builder::new()
                     .name(format!("par-worker-{w}"))
                     .stack_size(WORKER_STACK_BYTES)
-                    .spawn_scoped(scope, move || {
-                        (start..end).map(|i| par.at(i)).collect::<Vec<_>>()
-                    })
+                    .spawn_scoped(scope, move || work(start, end))
                     .expect("spawn parallel worker")
             })
             .collect();
         for handle in handles {
-            out.extend(handle.join().expect("parallel worker panicked"));
+            out.push(handle.join().expect("parallel worker panicked"));
         }
     });
     out
@@ -138,6 +226,46 @@ impl<'d, T: Sync + 'd> ParallelIterator for ParIter<'d, T> {
     fn at(&self, index: usize) -> &'d T {
         let slice: &'d [T] = self.slice;
         &slice[index]
+    }
+}
+
+/// `into_par_iter()` — consume a value into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type produced.
+    type Item: Send;
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consume `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn at(&self, index: usize) -> usize {
+        self.start + index
     }
 }
 
@@ -221,13 +349,54 @@ mod tests {
                 *x
             })
             .collect();
-        // With >1 hardware threads the scope must have used >1 workers.
-        if std::thread::available_parallelism()
-            .map(|t| t.get())
-            .unwrap_or(1)
-            > 1
-        {
+        // With >1 resolved workers the scope must have used >1 threads.
+        if crate::current_num_threads() > 1 {
             assert!(seen.lock().unwrap().len() > 1);
         }
+    }
+
+    #[test]
+    fn range_into_par_iter_matches_sequential() {
+        let squares: Vec<usize> = (3..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (3..100).map(|i| i * i).collect::<Vec<_>>());
+        let empty: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn max_by_stable_keeps_earliest_tie() {
+        // Two maxima with equal keys: the earlier index must win.
+        let xs = vec![(1, 'a'), (9, 'b'), (3, 'c'), (9, 'd'), (2, 'e')];
+        let best = xs
+            .par_iter()
+            .map(|&(k, tag)| (k, tag))
+            .max_by_stable(|a, b| a.0.cmp(&b.0));
+        assert_eq!(best, Some((9, 'b')));
+        let none: Option<usize> = (0..0).into_par_iter().max_by_stable(|a, b| a.cmp(b));
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn max_by_stable_matches_sequential_on_large_input() {
+        let xs: Vec<i64> = (0..50_000)
+            .map(|i| (i * 2_654_435_761_i64) % 10_007)
+            .collect();
+        let par = xs.par_iter().map(|&v| v).max_by_stable(|a, b| a.cmp(b));
+        let seq = xs.iter().copied().max();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn worker_cascade_prefers_explicit_then_env() {
+        assert_eq!(crate::resolve_workers(3, Some("8")), 3);
+        assert_eq!(crate::resolve_workers(0, Some("8")), 8);
+        assert_eq!(crate::resolve_workers(0, Some(" 2 ")), 2);
+        // Unparseable or zero env falls through to available_parallelism.
+        let hw = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        assert_eq!(crate::resolve_workers(0, Some("zero")), hw);
+        assert_eq!(crate::resolve_workers(0, Some("0")), hw);
+        assert_eq!(crate::resolve_workers(0, None), hw);
     }
 }

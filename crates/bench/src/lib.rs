@@ -64,6 +64,7 @@ pub fn bench_config(condition: Condition, seed: u64) -> DreamCoderConfig {
             ..RecognitionConfig::default()
         },
         seed,
+        ..DreamCoderConfig::default()
     }
 }
 

@@ -52,13 +52,20 @@ impl Frontier {
     }
 
     /// Insert an entry, keeping at most `beam_size` best-posterior entries.
+    ///
+    /// Entries with a non-finite posterior are rejected: a NaN (e.g. the
+    /// `-inf + inf` of a degenerate likelihood/prior pair) or `-inf`
+    /// carries no usable mass and would poison the beam ordering.
     pub fn insert(&mut self, entry: FrontierEntry, beam_size: usize) {
+        if !entry.log_posterior().is_finite() {
+            return;
+        }
         if self.entries.iter().any(|e| e.expr == entry.expr) {
             return;
         }
         self.entries.push(entry);
         self.entries
-            .sort_by(|a, b| b.log_posterior().partial_cmp(&a.log_posterior()).unwrap());
+            .sort_by(|a, b| b.log_posterior().total_cmp(&a.log_posterior()));
         self.entries.truncate(beam_size);
     }
 
@@ -95,7 +102,7 @@ impl Frontier {
             e.log_prior = score(&e.expr);
         }
         self.entries
-            .sort_by(|a, b| b.log_posterior().partial_cmp(&a.log_posterior()).unwrap());
+            .sort_by(|a, b| b.log_posterior().total_cmp(&a.log_posterior()));
     }
 }
 
@@ -130,6 +137,22 @@ mod tests {
         f.insert(entry("0", 0.0, -5.0), 5);
         f.insert(entry("0", 0.0, -5.0), 5);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_posteriors_are_rejected_without_panicking() {
+        let mut f = Frontier::new(tint());
+        // NaN posterior: -inf likelihood + +inf prior.
+        f.insert(entry("0", f64::NEG_INFINITY, f64::INFINITY), 5);
+        assert!(f.is_empty(), "NaN-posterior entry must be dropped");
+        // -inf posterior carries no mass either.
+        f.insert(entry("1", f64::NEG_INFINITY, -1.0), 5);
+        assert!(f.is_empty());
+        // A finite entry still inserts alongside (former panic site).
+        f.insert(entry("(+ 1 1)", 0.0, -2.0), 5);
+        f.insert(entry("0", f64::NAN, 0.0), 5);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.best().unwrap().log_prior, -2.0);
     }
 
     #[test]

@@ -47,5 +47,8 @@ pub use grammar::{
 };
 pub use inside_outside::{fit_contextual_grammar, fit_grammar, DEFAULT_PSEUDOCOUNT};
 pub use library::{logsumexp, BigramParent, Library, LibraryItem, WeightVector};
-pub use persist::{load_grammar, save_grammar, LoadError, SavedGrammar};
+pub use persist::{
+    load_frontier, load_grammar, save_frontier, save_grammar, LoadError, SavedFrontier,
+    SavedFrontierEntry, SavedGrammar,
+};
 pub use sample::{sample_program, sample_program_with_retries};

@@ -12,6 +12,9 @@ use dc_lambda::expr::{Expr, Invented, PrimitiveLookup};
 use dc_lambda::primitives::PrimitiveSet;
 use serde::{Deserialize, Serialize};
 
+use dc_lambda::types::Type;
+
+use crate::frontier::{Frontier, FrontierEntry};
 use crate::grammar::Grammar;
 use crate::library::{Library, LibraryItem, WeightVector};
 
@@ -29,13 +32,37 @@ pub struct SavedGrammar {
     pub log_productions: Vec<f64>,
 }
 
-/// Error loading a saved grammar.
+/// Serialized form of one [`FrontierEntry`]: the program as surface
+/// syntax plus its scores. Programs calling inventions print as inline
+/// `#(...)` literals, so they reload against the primitive set alone.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SavedFrontierEntry {
+    /// The program's surface syntax.
+    pub expr: String,
+    /// `log P[x | ρ]`.
+    pub log_likelihood: f64,
+    /// `log P[ρ | D, θ]`.
+    pub log_prior: f64,
+}
+
+/// Serialized form of a [`Frontier`]'s entries, in beam order. The
+/// request type is not stored: it is recovered from the task the
+/// frontier belongs to.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SavedFrontier {
+    /// Beam entries, best-posterior first.
+    pub entries: Vec<SavedFrontierEntry>,
+}
+
+/// Error loading a saved grammar or frontier.
 #[derive(Debug)]
 pub enum LoadError {
     /// A primitive name was not found in the supplied primitive set.
     UnknownPrimitive(String),
     /// An invention body failed to parse or typecheck.
     BadInvention(String, ParseError),
+    /// A frontier program failed to parse.
+    BadProgram(String, ParseError),
     /// Weight vector length disagrees with the library size.
     WeightMismatch {
         /// Productions in the library.
@@ -53,6 +80,9 @@ impl std::fmt::Display for LoadError {
             }
             LoadError::BadInvention(src, e) => {
                 write!(f, "invention {src:?} failed to load: {e}")
+            }
+            LoadError::BadProgram(src, e) => {
+                write!(f, "frontier program {src:?} failed to load: {e}")
             }
             LoadError::WeightMismatch { expected, found } => {
                 write!(f, "expected {expected} weights, found {found}")
@@ -117,6 +147,47 @@ pub fn load_grammar(saved: &SavedGrammar, prims: &PrimitiveSet) -> Result<Gramma
     })
 }
 
+/// Serialize a frontier's beam as surface syntax.
+pub fn save_frontier(frontier: &Frontier) -> SavedFrontier {
+    SavedFrontier {
+        entries: frontier
+            .entries
+            .iter()
+            .map(|e| SavedFrontierEntry {
+                expr: e.expr.to_string(),
+                log_likelihood: e.log_likelihood,
+                log_prior: e.log_prior,
+            })
+            .collect(),
+    }
+}
+
+/// Reconstruct a frontier from its saved form. Entries are restored
+/// verbatim — same order, same scores — so a save/load round trip is
+/// bit-for-bit (`insert` is deliberately not re-run, as it would re-trim
+/// against an unknown beam size).
+///
+/// # Errors
+/// [`LoadError::BadProgram`] when an entry's surface syntax fails to
+/// parse against `prims`.
+pub fn load_frontier(
+    saved: &SavedFrontier,
+    request: Type,
+    prims: &PrimitiveSet,
+) -> Result<Frontier, LoadError> {
+    let mut entries = Vec::with_capacity(saved.entries.len());
+    for e in &saved.entries {
+        let expr = Expr::parse(&e.expr, prims)
+            .map_err(|err| LoadError::BadProgram(e.expr.clone(), err))?;
+        entries.push(FrontierEntry {
+            expr,
+            log_likelihood: e.log_likelihood,
+            log_prior: e.log_prior,
+        });
+    }
+    Ok(Frontier { request, entries })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +236,54 @@ mod tests {
         let loaded = load_grammar(&back, &prims).unwrap();
         assert_eq!(loaded.library.len(), g.library.len());
         assert_eq!(loaded.library.depth(), 2);
+    }
+
+    #[test]
+    fn frontiers_round_trip_bit_for_bit() {
+        let prims = base_primitives();
+        let mut lib = Library::from_primitives(prims.iter().cloned());
+        let body = Expr::parse("(lambda (+ $0 $0))", &prims).unwrap();
+        let inv = Invented::new("#(lambda (+ $0 $0))", body).unwrap();
+        lib.push_invented(Arc::clone(&inv));
+        let mut f = Frontier::new(tint());
+        f.insert(
+            crate::frontier::FrontierEntry {
+                expr: Expr::parse("(+ 1 1)", &prims).unwrap(),
+                log_likelihood: -0.125,
+                log_prior: -2.75,
+            },
+            5,
+        );
+        // A program that calls the invention, exercising `#(...)` syntax.
+        f.insert(
+            crate::frontier::FrontierEntry {
+                expr: Expr::application(Expr::Invented(inv), Expr::parse("1", &prims).unwrap()),
+                log_likelihood: 0.0,
+                log_prior: -3.5,
+            },
+            5,
+        );
+        let saved = save_frontier(&f);
+        let json = serde_json::to_string(&saved).unwrap();
+        let back: SavedFrontier = serde_json::from_str(&json).unwrap();
+        let loaded = load_frontier(&back, tint(), &prims).unwrap();
+        assert_eq!(loaded, f, "entries, order, and scores must survive");
+    }
+
+    #[test]
+    fn load_frontier_reports_bad_programs() {
+        let prims = base_primitives();
+        let saved = SavedFrontier {
+            entries: vec![SavedFrontierEntry {
+                expr: "(no-such-prim 1".into(),
+                log_likelihood: 0.0,
+                log_prior: 0.0,
+            }],
+        };
+        assert!(matches!(
+            load_frontier(&saved, tint(), &prims),
+            Err(LoadError::BadProgram(_, _))
+        ));
     }
 
     #[test]

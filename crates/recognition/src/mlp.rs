@@ -1,11 +1,12 @@
 //! A small multi-layer perceptron with manual backpropagation and Adam.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::tensor::{tanh, tanh_grad_from_output, Adam, Matrix};
 
 /// One fully connected layer `y = W x + b`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Linear {
     w: Matrix,
     b: Vec<f64>,
@@ -33,7 +34,10 @@ impl Linear {
 }
 
 /// A feed-forward network `features -> tanh hidden layers -> linear logits`.
-#[derive(Debug, Clone)]
+///
+/// Serializable (weights, biases, and Adam moments) so recognition
+/// models survive checkpoint/resume bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
     layers: Vec<Linear>,
     input_dim: usize,

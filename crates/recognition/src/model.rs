@@ -19,7 +19,7 @@ use rand::Rng;
 use crate::mlp::Mlp;
 
 /// How the output distribution is parameterized (§4, Fig 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Parameterization {
     /// One weight per library routine, independent of context (as in EC2).
     Unigram,
@@ -28,7 +28,7 @@ pub enum Parameterization {
 }
 
 /// Which training objective the model optimizes (§4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Objective {
     /// `L_MAP`: predict only the maximum-a-posteriori program per task.
     Map,
@@ -140,6 +140,75 @@ impl RecognitionModel {
             mlp: self.mlp.with_resized_output(out_dim, learning_rate, rng),
             prior_bias: None,
         }
+    }
+
+    /// Snapshot the model's mutable state (weights, moments, bias) for
+    /// persistence. The library is saved separately — see
+    /// [`crate::persist`] for the contract.
+    pub fn to_saved(&self) -> crate::persist::SavedRecognitionModel {
+        crate::persist::SavedRecognitionModel {
+            parameterization: self.parameterization,
+            objective: self.objective,
+            max_arity: self.max_arity,
+            mlp: self.mlp.clone(),
+            prior_bias: self.prior_bias.as_ref().map(|b| crate::persist::SavedBias {
+                log_variable: b.log_variable,
+                log_productions: b.log_productions.clone(),
+            }),
+        }
+    }
+
+    /// Restore a model from its saved state against `library`.
+    ///
+    /// # Errors
+    /// [`crate::persist::ModelLoadError`] when the library's size or
+    /// arity disagrees with the dimensions the head was saved with.
+    pub fn from_saved(
+        saved: crate::persist::SavedRecognitionModel,
+        library: Arc<Library>,
+    ) -> Result<RecognitionModel, crate::persist::ModelLoadError> {
+        use crate::persist::ModelLoadError;
+        let n = library.len();
+        let library_arity = library.max_arity().max(1);
+        if saved.max_arity != library_arity {
+            return Err(ModelLoadError::ArityMismatch {
+                saved: saved.max_arity,
+                library: library_arity,
+            });
+        }
+        let expected = match saved.parameterization {
+            Parameterization::Unigram => n + 1,
+            Parameterization::Bigram => BigramParent::row_count(n) * saved.max_arity * (n + 1),
+        };
+        if saved.mlp.output_dim() != expected {
+            return Err(ModelLoadError::HeadMismatch {
+                saved: saved.mlp.output_dim(),
+                expected,
+            });
+        }
+        let prior_bias = match saved.prior_bias {
+            Some(b) => {
+                if b.log_productions.len() != n {
+                    return Err(ModelLoadError::BiasMismatch {
+                        saved: b.log_productions.len(),
+                        expected: n,
+                    });
+                }
+                Some(crate::WeightVectorBias {
+                    log_variable: b.log_variable,
+                    log_productions: b.log_productions,
+                })
+            }
+            None => None,
+        };
+        Ok(RecognitionModel {
+            library,
+            parameterization: saved.parameterization,
+            objective: saved.objective,
+            max_arity: saved.max_arity,
+            mlp: saved.mlp,
+            prior_bias,
+        })
     }
 
     /// The training objective in force.

@@ -6,9 +6,10 @@
 //! networks are tiny, numerical robustness matters more than speed.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     /// Number of rows.
     pub rows: usize,
@@ -79,7 +80,11 @@ impl Matrix {
 }
 
 /// Adam optimizer state for one parameter tensor.
-#[derive(Debug, Clone)]
+///
+/// Serializable so checkpoints capture optimizer moments: resuming a
+/// training run mid-trajectory then matches an uninterrupted one
+/// bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Adam {
     m: Vec<f64>,
     v: Vec<f64>,

@@ -143,6 +143,18 @@ pub struct DreamCoderConfig {
     pub recognition: RecognitionConfig,
     /// RNG seed.
     pub seed: u64,
+    /// Directory to write per-cycle checkpoints into (`None` disables
+    /// checkpointing). See DESIGN.md §8.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// How many most-recent checkpoints to retain (older ones are pruned
+    /// after each write; a value of 0 still keeps the newest).
+    pub checkpoint_keep: usize,
+    /// Report solve-time metrics as zero instead of wall-clock seconds.
+    /// Wall clock is the only nondeterministic input to a seeded run, so
+    /// with this set (and enumeration bounded by nats budget rather than
+    /// timeout) the `RunSummary` is byte-reproducible — the determinism
+    /// contract of DESIGN.md §8.
+    pub deterministic_timing: bool,
 }
 
 impl Default for DreamCoderConfig {
@@ -164,6 +176,9 @@ impl Default for DreamCoderConfig {
             compression: CompressionConfig::default(),
             recognition: RecognitionConfig::default(),
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_keep: 3,
+            deterministic_timing: false,
         }
     }
 }

@@ -20,14 +20,18 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod report;
 pub mod run;
 pub mod sleep;
 pub mod wake;
 
+pub use checkpoint::{
+    latest_checkpoint, prune_checkpoints, Checkpoint, CheckpointError, CHECKPOINT_VERSION,
+};
 pub use config::{Condition, DreamCoderConfig, RecognitionConfig};
 pub use report::{comparison_table, learning_curve, sparkline};
 pub use run::{CycleStats, DreamCoder, RunSummary};
 pub use sleep::{abstraction_sleep, dream_sleep, DreamStats};
-pub use wake::{search_task, wake, Guide, TaskSearchResult};
+pub use wake::{search_task, search_task_guarded, wake, Guide, TaskSearchResult};

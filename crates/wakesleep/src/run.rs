@@ -16,12 +16,15 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointError, SavedRngState, TaskFrontier};
 use crate::config::DreamCoderConfig;
 use crate::sleep::{abstraction_sleep, dream_sleep};
-use crate::wake::{search_task, wake, Guide, TaskSearchResult};
+use crate::wake::{search_task_guarded, wake, Guide, TaskSearchResult};
+use dc_grammar::persist::{load_frontier, load_grammar, save_frontier, save_grammar};
+use serde::Deserialize;
 
 /// Per-cycle metrics (the data behind Fig 7A–D).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CycleStats {
     /// Wake/sleep cycle index (0-based).
     pub cycle: usize,
@@ -42,7 +45,7 @@ pub struct CycleStats {
 }
 
 /// Summary of a complete run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunSummary {
     /// The condition's display label.
     pub condition: String,
@@ -68,6 +71,10 @@ pub struct DreamCoder<'d> {
     pub frontiers: HashMap<usize, Frontier>,
     rng: rand_chacha::ChaCha8Rng,
     inventions: Vec<String>,
+    /// Metrics for cycles completed so far (preloaded on resume).
+    stats: Vec<CycleStats>,
+    /// First cycle index `run` executes (non-zero after resume).
+    start_cycle: usize,
 }
 
 impl<'d> DreamCoder<'d> {
@@ -97,6 +104,128 @@ impl<'d> DreamCoder<'d> {
             frontiers: HashMap::new(),
             rng,
             inventions: Vec::new(),
+            stats: Vec::new(),
+            start_cycle: 0,
+        }
+    }
+
+    /// Restore a run mid-trajectory from a [`Checkpoint`]: the grammar,
+    /// stored frontiers, recognition weights, RNG state, and accumulated
+    /// metrics all pick up exactly where the checkpointed run left off.
+    /// `run` then continues at cycle `checkpoint.cycles_completed`.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Mismatch`] when the checkpoint was taken under
+    /// a different domain, condition, or seed (or references a train task
+    /// the domain no longer has); [`CheckpointError::Grammar`] /
+    /// [`CheckpointError::Recognition`] when stored state fails to reload
+    /// against the domain's primitive set.
+    pub fn resume(
+        domain: &'d dyn Domain,
+        config: DreamCoderConfig,
+        ckpt: &Checkpoint,
+    ) -> Result<DreamCoder<'d>, CheckpointError> {
+        if ckpt.version != checkpoint::CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version {
+                found: ckpt.version,
+            });
+        }
+        if ckpt.domain != domain.name() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for domain {:?}, resuming {:?}",
+                ckpt.domain,
+                domain.name()
+            )));
+        }
+        if ckpt.condition != config.condition.label() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for condition {:?}, resuming {:?}",
+                ckpt.condition,
+                config.condition.label()
+            )));
+        }
+        if ckpt.seed != config.seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint has seed {}, config has {}",
+                ckpt.seed, config.seed
+            )));
+        }
+        let grammar =
+            load_grammar(&ckpt.grammar, domain.primitives()).map_err(CheckpointError::Grammar)?;
+        let train = domain.train_tasks();
+        let mut frontiers = HashMap::with_capacity(ckpt.frontiers.len());
+        for tf in &ckpt.frontiers {
+            let Some(task) = train.get(tf.task) else {
+                return Err(CheckpointError::Mismatch(format!(
+                    "checkpoint frontier references train task {} but the domain has {}",
+                    tf.task,
+                    train.len()
+                )));
+            };
+            let frontier = load_frontier(&tf.frontier, task.request.clone(), domain.primitives())
+                .map_err(CheckpointError::Grammar)?;
+            frontiers.insert(tf.task, frontier);
+        }
+        let recognition = if config.condition.uses_recognition() {
+            let saved = ckpt.recognition.clone().ok_or_else(|| {
+                CheckpointError::Mismatch(
+                    "condition uses a recognition model but the checkpoint stores none".into(),
+                )
+            })?;
+            Some(
+                RecognitionModel::from_saved(saved, Arc::clone(&grammar.library))
+                    .map_err(CheckpointError::Recognition)?,
+            )
+        } else {
+            None
+        };
+        let rng = ckpt.rng.restore()?;
+        dc_telemetry::incr("checkpoint.resumes");
+        dc_telemetry::event(
+            dc_telemetry::Level::Info,
+            "checkpoint.resumed",
+            &[
+                ("domain", ckpt.domain.as_str().into()),
+                ("cycles_completed", ckpt.cycles_completed.into()),
+                ("frontiers", ckpt.frontiers.len().into()),
+            ],
+        );
+        Ok(DreamCoder {
+            domain,
+            config,
+            grammar,
+            recognition,
+            frontiers,
+            rng,
+            inventions: ckpt.inventions.clone(),
+            stats: ckpt.stats.clone(),
+            start_cycle: ckpt.cycles_completed,
+        })
+    }
+
+    /// Snapshot the run's full mutable state after `cycles_completed`
+    /// cycles (see DESIGN.md §8 for the format contract).
+    pub fn checkpoint(&self, cycles_completed: usize) -> Checkpoint {
+        let mut keys: Vec<usize> = self.frontiers.keys().copied().collect();
+        keys.sort_unstable();
+        Checkpoint {
+            version: checkpoint::CHECKPOINT_VERSION,
+            domain: self.domain.name().to_owned(),
+            condition: self.config.condition.label().to_owned(),
+            seed: self.config.seed,
+            cycles_completed,
+            grammar: save_grammar(&self.grammar),
+            frontiers: keys
+                .into_iter()
+                .map(|k| TaskFrontier {
+                    task: k,
+                    frontier: save_frontier(&self.frontiers[&k]),
+                })
+                .collect(),
+            recognition: self.recognition.as_ref().map(RecognitionModel::to_saved),
+            rng: SavedRngState::capture(&self.rng),
+            stats: self.stats.clone(),
+            inventions: self.inventions.clone(),
         }
     }
 
@@ -190,10 +319,14 @@ impl<'d> DreamCoder<'d> {
         let train = self.domain.train_tasks();
         // NeuralOnly (RobustFill-style) trains on samples from the *initial*
         // library: its grammar never changes, so this is the same call.
-        let solved: Vec<(&Task, &Frontier)> = self
-            .frontiers
+        //
+        // Replay order feeds SGD directly, so it must not depend on
+        // HashMap iteration order: sort by task index.
+        let mut keys: Vec<usize> = self.frontiers.keys().copied().collect();
+        keys.sort_unstable();
+        let solved: Vec<(&Task, &Frontier)> = keys
             .iter()
-            .map(|(&i, f)| (&train[i], f))
+            .map(|&i| (&train[i], &self.frontiers[&i]))
             .collect();
         Some(dream_sleep(
             model,
@@ -216,18 +349,26 @@ impl<'d> DreamCoder<'d> {
             .par_iter()
             .map(|task| {
                 let guide = self.guide_for(task);
-                search_task(task, &guide, &self.grammar, self.config.beam_size, config)
+                search_task_guarded(task, &guide, &self.grammar, self.config.beam_size, config)
             })
             .collect();
-        let times: Vec<f64> = results.iter().filter_map(|r| r.solve_time).collect();
+        // Wall clock is the only nondeterministic input to a seeded run;
+        // under `deterministic_timing` the solve-time metrics report zero.
+        let times: Vec<f64> = if self.config.deterministic_timing {
+            Vec::new()
+        } else {
+            results.iter().filter_map(|r| r.solve_time).collect()
+        };
         let solved = results.iter().filter(|r| !r.frontier.is_empty()).count();
         (solved as f64 / tasks.len() as f64, times)
     }
 
-    /// Run the full wake/sleep loop, returning per-cycle metrics.
+    /// Run the full wake/sleep loop, returning per-cycle metrics. After a
+    /// [`DreamCoder::resume`], picks up at the first uncompleted cycle and
+    /// the returned summary covers the whole trajectory, restored cycles
+    /// included.
     pub fn run(&mut self) -> RunSummary {
-        let mut cycles = Vec::new();
-        for cycle in 0..self.config.cycles {
+        for cycle in self.start_cycle..self.config.cycles {
             let cycle_timer = dc_telemetry::time("cycle.total");
             {
                 let _wake = dc_telemetry::time("cycle.wake");
@@ -240,13 +381,28 @@ impl<'d> DreamCoder<'d> {
                     new_inventions = self.abstraction_cycle();
                 } else if !self.frontiers.is_empty() {
                     // Still re-fit θ to the discovered programs (wake maximizes
-                    // ℒ w.r.t. beams; θ update is free).
-                    let fronts: Vec<Frontier> = self.frontiers.values().cloned().collect();
+                    // ℒ w.r.t. beams; θ update is free). Float summation order
+                    // inside the fit depends on frontier order, so sort by
+                    // task index rather than taking HashMap order.
+                    let mut keys: Vec<usize> = self.frontiers.keys().copied().collect();
+                    keys.sort_unstable();
+                    let fronts: Vec<Frontier> =
+                        keys.iter().map(|k| self.frontiers[k].clone()).collect();
                     self.grammar = fit_grammar(
                         &self.grammar.library,
                         &fronts,
                         self.config.compression.pseudocounts,
                     );
+                    // The stored beams still carry priors from the *previous*
+                    // θ; rescore them so beam ordering, dream-sleep replay
+                    // targets, and checkpoints all agree with the refit
+                    // grammar (the compression path does this via
+                    // abstraction_sleep's rewrite).
+                    let grammar = &self.grammar;
+                    for frontier in self.frontiers.values_mut() {
+                        let request = frontier.request.clone();
+                        frontier.rescore(|e| grammar.log_prior(&request, e));
+                    }
                 }
             }
             if self.config.condition.uses_recognition() {
@@ -290,7 +446,7 @@ impl<'d> DreamCoder<'d> {
                 ],
             );
             drop(cycle_timer);
-            cycles.push(CycleStats {
+            self.stats.push(CycleStats {
                 cycle,
                 train_solved: self.frontiers.len(),
                 test_solved,
@@ -300,12 +456,36 @@ impl<'d> DreamCoder<'d> {
                 median_solve_time: median,
                 new_inventions,
             });
+            if let Some(dir) = self.config.checkpoint_dir.clone() {
+                let ckpt = self.checkpoint(cycle + 1);
+                match ckpt.write_atomic(&dir) {
+                    Ok(_) => {
+                        if let Err(err) =
+                            checkpoint::prune_checkpoints(&dir, self.config.checkpoint_keep)
+                        {
+                            dc_telemetry::event(
+                                dc_telemetry::Level::Warn,
+                                "checkpoint.prune_failed",
+                                &[("error", err.to_string().into())],
+                            );
+                        }
+                    }
+                    // A failed checkpoint write must not kill the run: the
+                    // in-memory state is intact, only crash-resumability at
+                    // this cycle is lost.
+                    Err(err) => dc_telemetry::event(
+                        dc_telemetry::Level::Warn,
+                        "checkpoint.write_failed",
+                        &[("cycle", cycle.into()), ("error", err.to_string().into())],
+                    ),
+                }
+            }
         }
-        let final_test_solved = cycles.last().map_or(0.0, |c| c.test_solved);
+        let final_test_solved = self.stats.last().map_or(0.0, |c| c.test_solved);
         RunSummary {
             condition: self.config.condition.label().to_owned(),
             domain: self.domain.name().to_owned(),
-            cycles,
+            cycles: self.stats.clone(),
             library: self.inventions.clone(),
             final_test_solved,
         }
@@ -317,7 +497,7 @@ fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+    v.sort_by(f64::total_cmp);
     let mid = v.len() / 2;
     if v.len().is_multiple_of(2) {
         0.5 * (v[mid - 1] + v[mid])
@@ -412,6 +592,82 @@ mod tests {
         if last.train_solved > 0 {
             assert!(last.library_size > domain.initial_library().len());
             assert!(last.library_depth <= 1, "memorized routines never nest");
+        }
+    }
+
+    /// Enumeration bounded by nats budget instead of wall clock, timing
+    /// metrics zeroed: nothing nondeterministic feeds the summary.
+    fn deterministic_config(condition: Condition, cycles: usize, seed: u64) -> DreamCoderConfig {
+        DreamCoderConfig {
+            condition,
+            cycles,
+            minibatch: 5,
+            enumeration: EnumerationConfig {
+                timeout: None,
+                max_budget: 8.0,
+                ..EnumerationConfig::default()
+            },
+            test_enumeration: EnumerationConfig {
+                timeout: None,
+                max_budget: 6.5,
+                ..EnumerationConfig::default()
+            },
+            compression: dc_vspace::CompressionConfig {
+                refactor_steps: 1,
+                top_candidates: 10,
+                max_inventions: 1,
+                ..dc_vspace::CompressionConfig::default()
+            },
+            recognition: crate::config::RecognitionConfig {
+                fantasies: 3,
+                epochs: 2,
+                hidden_dim: 8,
+                ..crate::config::RecognitionConfig::default()
+            },
+            seed,
+            deterministic_timing: true,
+            ..DreamCoderConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeded_full_runs_are_byte_identical() {
+        // Regression test for the HashMap-iteration nondeterminism bugs:
+        // two runs with the same seed must produce the same summary JSON.
+        let run_once = || {
+            let domain = ListDomain::new(0);
+            let mut dc = DreamCoder::new(&domain, deterministic_config(Condition::Full, 2, 7));
+            serde_json::to_string(&dc.run()).expect("summary serializes")
+        };
+        let spawn = || {
+            std::thread::Builder::new()
+                .stack_size(64 * 1024 * 1024)
+                .spawn(run_once)
+                .expect("spawn test thread")
+        };
+        let first = spawn().join().expect("first run panicked");
+        let second = spawn().join().expect("second run panicked");
+        assert_eq!(first, second, "seeded runs diverged");
+    }
+
+    #[test]
+    fn no_compression_refit_rescores_stored_frontiers() {
+        // Regression test: the θ-refit branch used to refit the grammar but
+        // leave the stored beams scored under the stale θ.
+        let domain = ListDomain::new(0);
+        let mut dc = DreamCoder::new(&domain, quick_config(Condition::NoCompression));
+        dc.run();
+        assert!(!dc.frontiers.is_empty(), "should solve some tasks");
+        for frontier in dc.frontiers.values() {
+            for entry in &frontier.entries {
+                let expected = dc.grammar.log_prior(&frontier.request, &entry.expr);
+                assert!(
+                    (entry.log_prior - expected).abs() < 1e-9,
+                    "stored prior {} disagrees with refit grammar {}",
+                    entry.log_prior,
+                    expected
+                );
+            }
         }
     }
 

@@ -136,6 +136,16 @@ pub fn dream_sleep<R: Rng>(
     }
     let replays = examples.len();
     let requests = domain.dream_requests();
+    // A domain with no dream requests can't fantasize (and `gen_range`
+    // over an empty range would panic): train on replays alone.
+    if requests.is_empty() {
+        let final_loss = model.train(&examples, config.epochs, rng);
+        return DreamStats {
+            replays,
+            fantasies: 0,
+            final_loss,
+        };
+    }
     let mut made = 0;
     let mut attempts = 0;
     while made < config.fantasies && attempts < config.fantasies * 10 {
@@ -278,6 +288,72 @@ mod tests {
                 .map(|s| s.invention.name.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn dream_sleep_survives_a_domain_with_no_dream_requests() {
+        use dc_lambda::primitives::PrimitiveSet;
+        use dc_lambda::types::Type;
+        use rand::RngCore;
+
+        /// A stub domain that offers no request types to dream at.
+        struct Dreamless {
+            prims: PrimitiveSet,
+            tasks: Vec<Task>,
+        }
+        impl Domain for Dreamless {
+            fn name(&self) -> &str {
+                "dreamless"
+            }
+            fn primitives(&self) -> &PrimitiveSet {
+                &self.prims
+            }
+            fn train_tasks(&self) -> &[Task] {
+                &self.tasks
+            }
+            fn test_tasks(&self) -> &[Task] {
+                &self.tasks
+            }
+            fn feature_dim(&self) -> usize {
+                2
+            }
+            fn dream_requests(&self) -> Vec<Type> {
+                Vec::new()
+            }
+            fn dream(&self, _: &Expr, _: &Type, _: &mut dyn RngCore) -> Option<Task> {
+                None
+            }
+        }
+
+        let domain = Dreamless {
+            prims: base_primitives(),
+            tasks: Vec::new(),
+        };
+        let lib = domain.initial_library();
+        let g = Grammar::uniform(Arc::clone(&lib));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut model = RecognitionModel::new(
+            Arc::clone(&lib),
+            2,
+            8,
+            Parameterization::Bigram,
+            Objective::Map,
+            0.01,
+            &mut rng,
+        );
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let f = frontier_for(&g, "(lambda (map (lambda (+ $0 1)) $0))", t.clone());
+        let task = Task::io("replay", t, vec![], vec![0.0, 0.0]);
+        let rcfg = crate::config::RecognitionConfig {
+            fantasies: 10,
+            epochs: 2,
+            ..crate::config::RecognitionConfig::default()
+        };
+        // Former panic site: gen_range(0..0) on the empty request list.
+        let stats = dream_sleep(&mut model, &domain, &g, &[(&task, &f)], &rcfg, &mut rng);
+        assert_eq!(stats.fantasies, 0, "no requests means no fantasies");
+        assert_eq!(stats.replays, 1, "replays still train");
+        assert!(stats.final_loss.is_finite());
     }
 
     #[test]

@@ -81,7 +81,49 @@ pub fn search_task(
     }
 }
 
-/// Search a batch of tasks in parallel.
+/// [`search_task`] with per-task panic isolation: a panicking evaluator
+/// (a poisoned oracle, an arithmetic edge case deep in a domain) yields
+/// an **empty frontier** plus a telemetry event instead of unwinding
+/// through the cycle and killing the whole run.
+pub fn search_task_guarded(
+    task: &Task,
+    guide: &Guide,
+    scorer: &Grammar,
+    beam_size: usize,
+    config: &EnumerationConfig,
+) -> TaskSearchResult {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        search_task(task, guide, scorer, beam_size, config)
+    }));
+    match attempt {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            dc_telemetry::incr("wake.task_panics");
+            dc_telemetry::event(
+                dc_telemetry::Level::Warn,
+                "wake.task_panic",
+                &[
+                    ("task", task.name.as_str().into()),
+                    ("message", message.into()),
+                ],
+            );
+            TaskSearchResult {
+                frontier: Frontier::new(task.request.clone()),
+                solve_time: None,
+                programs_enumerated: 0,
+            }
+        }
+    }
+}
+
+/// Search a batch of tasks in parallel. Each task is panic-isolated via
+/// [`search_task_guarded`], so one poisoned evaluator costs its own
+/// frontier, not the cycle.
 pub fn wake(
     tasks: &[&Task],
     guides: &[Guide],
@@ -93,7 +135,7 @@ pub fn wake(
     tasks
         .par_iter()
         .zip(guides.par_iter())
-        .map(|(task, guide)| search_task(task, guide, scorer, beam_size, config))
+        .map(|(task, guide)| search_task_guarded(task, guide, scorer, beam_size, config))
         .collect()
 }
 
@@ -198,6 +240,51 @@ mod tests {
         let result = search_task(&task, &Guide::Generative(g.clone()), &g, 5, &quick(300));
         assert!(result.frontier.is_empty());
         assert!(result.solve_time.is_none());
+    }
+
+    #[test]
+    fn a_panicking_oracle_degrades_to_an_empty_frontier() {
+        use dc_lambda::expr::Expr;
+        use dc_tasks::task::TaskOracle;
+
+        struct PoisonedOracle;
+        impl TaskOracle for PoisonedOracle {
+            fn log_likelihood(&self, _program: &Expr) -> f64 {
+                panic!("injected evaluator panic");
+            }
+        }
+
+        let g = setup();
+        let healthy = Task::io(
+            "healthy",
+            Type::arrow(tlist(tint()), tint()),
+            vec![Example {
+                inputs: vec![list(&[5, 1])],
+                output: Value::Int(5),
+            }],
+            vec![],
+        );
+        let poisoned = Task {
+            name: "poisoned".into(),
+            request: Type::arrow(tlist(tint()), tint()),
+            oracle: Arc::new(PoisonedOracle),
+            features: vec![],
+            examples: vec![],
+        };
+        // Quiet the default per-panic stderr backtrace for this test.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let tasks = [&healthy, &poisoned];
+        let guides = vec![Guide::Generative(g.clone()), Guide::Generative(g.clone())];
+        let results = wake(&tasks, &guides, &g, 5, &quick(2000));
+        std::panic::set_hook(prev_hook);
+        assert_eq!(results.len(), 2);
+        assert!(
+            !results[0].frontier.is_empty(),
+            "healthy task must still be solved"
+        );
+        assert!(results[1].frontier.is_empty(), "poisoned task yields empty");
+        assert!(results[1].solve_time.is_none());
     }
 
     #[test]

@@ -20,7 +20,9 @@ use dreamcoder::tasks::domains::symreg::SymRegDomain;
 use dreamcoder::tasks::domains::text::TextDomain;
 use dreamcoder::tasks::domains::tower::TowerDomain;
 use dreamcoder::tasks::Domain;
-use dreamcoder::wakesleep::{search_task, Condition, DreamCoder, DreamCoderConfig, Guide};
+use dreamcoder::wakesleep::{
+    latest_checkpoint, search_task, Checkpoint, Condition, DreamCoder, DreamCoderConfig, Guide,
+};
 use std::sync::Arc;
 
 const DOMAINS: &[&str] = &[
@@ -75,6 +77,15 @@ impl Args {
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
     }
+    fn flag_f64(&self, name: &str, default: f64) -> f64 {
+        self.flag(name)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+    /// Boolean flag: present or not, takes no value.
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
 }
 
 fn usage() -> ExitCode {
@@ -82,11 +93,19 @@ fn usage() -> ExitCode {
         "usage:\n\
          dreamcoder run --domain <name> [--cycles N] [--condition full|no-rec|no-lib|memorize|ec|ec2|enumeration|neural]\n\
          \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N] [--events FILE] [--threads N]\n\
+         \x20              [--checkpoint-dir DIR] [--checkpoint-keep N] [--resume] [--summary-out FILE]\n\
+         \x20              [--deterministic] [--wake-nats B] [--test-nats B]\n\
          dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
          dreamcoder domains\n\
          \n\
          worker threads default to the machine's parallelism; cap them with\n\
-         --threads N or the DC_THREADS env var (--threads wins)."
+         --threads N or the DC_THREADS env var (--threads wins).\n\
+         \n\
+         --checkpoint-dir writes a crash-safe checkpoint after every cycle;\n\
+         --resume restarts from the newest one. --deterministic replaces the\n\
+         wall-clock enumeration budgets with nats budgets (--wake-nats,\n\
+         --test-nats) and zeroes timing metrics, making a seeded run byte-\n\
+         reproducible (DESIGN.md \u{a7}8)."
     );
     ExitCode::FAILURE
 }
@@ -138,19 +157,45 @@ fn main() -> ExitCode {
                     }
                 },
             };
+            let deterministic = args.has("--deterministic");
+            let (enumeration, test_enumeration) = if deterministic {
+                // Nats budgets instead of wall clock: seeded runs become
+                // byte-reproducible (DESIGN.md §8).
+                (
+                    EnumerationConfig {
+                        timeout: None,
+                        max_budget: args.flag_f64("--wake-nats", 11.0),
+                        ..EnumerationConfig::default()
+                    },
+                    EnumerationConfig {
+                        timeout: None,
+                        max_budget: args.flag_f64("--test-nats", 9.0),
+                        ..EnumerationConfig::default()
+                    },
+                )
+            } else {
+                (
+                    EnumerationConfig {
+                        timeout: Some(Duration::from_millis(args.flag_u64("--wake-ms", 700))),
+                        ..EnumerationConfig::default()
+                    },
+                    EnumerationConfig {
+                        timeout: Some(Duration::from_millis(args.flag_u64("--test-ms", 300))),
+                        ..EnumerationConfig::default()
+                    },
+                )
+            };
+            let checkpoint_dir = args.flag("--checkpoint-dir").map(std::path::PathBuf::from);
             let config = DreamCoderConfig {
                 condition,
                 cycles: args.flag_u64("--cycles", 3) as usize,
                 minibatch: args.flag_u64("--minibatch", 12) as usize,
-                enumeration: EnumerationConfig {
-                    timeout: Some(Duration::from_millis(args.flag_u64("--wake-ms", 700))),
-                    ..EnumerationConfig::default()
-                },
-                test_enumeration: EnumerationConfig {
-                    timeout: Some(Duration::from_millis(args.flag_u64("--test-ms", 300))),
-                    ..EnumerationConfig::default()
-                },
+                enumeration,
+                test_enumeration,
                 seed: args.flag_u64("--seed", 0),
+                checkpoint_dir: checkpoint_dir.clone(),
+                checkpoint_keep: args.flag_u64("--checkpoint-keep", 3) as usize,
+                deterministic_timing: deterministic,
                 ..DreamCoderConfig::default()
             };
             // Metrics are on for every run; `--events FILE` additionally
@@ -165,8 +210,63 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            let mut dc = DreamCoder::new(domain.as_ref(), config);
+            let mut dc = if args.has("--resume") {
+                let Some(dir) = checkpoint_dir.as_deref() else {
+                    eprintln!("--resume requires --checkpoint-dir");
+                    return ExitCode::FAILURE;
+                };
+                match latest_checkpoint(dir) {
+                    Err(e) => {
+                        eprintln!("cannot scan checkpoint dir {}: {e}", dir.display());
+                        return ExitCode::FAILURE;
+                    }
+                    // Nothing to resume yet: start fresh (so the same
+                    // command line works for the first and every later
+                    // launch of a long run).
+                    Ok(None) => {
+                        eprintln!("no checkpoint in {}; starting a fresh run", dir.display());
+                        DreamCoder::new(domain.as_ref(), config)
+                    }
+                    Ok(Some(path)) => {
+                        let ckpt = match Checkpoint::read(&path) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                eprintln!("cannot read checkpoint {}: {e}", path.display());
+                                return ExitCode::FAILURE;
+                            }
+                        };
+                        eprintln!(
+                            "resuming from {} (after cycle {})",
+                            path.display(),
+                            ckpt.cycles_completed
+                        );
+                        match DreamCoder::resume(domain.as_ref(), config, &ckpt) {
+                            Ok(dc) => dc,
+                            Err(e) => {
+                                eprintln!("cannot resume: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                }
+            } else {
+                DreamCoder::new(domain.as_ref(), config)
+            };
             let summary = dc.run();
+            if let Some(out) = args.flag("--summary-out") {
+                let json = match serde_json::to_string(&summary) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("cannot serialize summary: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("cannot write summary to {out:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("[summary written to {out}]");
+            }
             let telemetry_path = std::path::Path::new("results/telemetry.json");
             match dreamcoder::telemetry::export_to_file(telemetry_path) {
                 Ok(()) => println!("[telemetry written to {}]", telemetry_path.display()),

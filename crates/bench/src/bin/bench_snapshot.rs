@@ -1,6 +1,7 @@
 //! `bench_snapshot` — the perf-trajectory benchmark.
 //!
-//! Runs three fixed workloads (enumeration, compression, evaluation) with
+//! Runs four fixed workloads (enumeration, compression, dream sleep,
+//! evaluation) with
 //! deterministic budgets and emits a machine-readable snapshot
 //! (`BENCH_<n>.json`) holding wall-clock numbers, throughput, and the
 //! telemetry counters gathered while running. Successive PRs commit
@@ -42,6 +43,8 @@ struct WorkloadResult {
     programs_per_sec: Option<f64>,
     inventions: Option<Vec<String>>,
     tasks_solved: Option<u64>,
+    fantasies: Option<u64>,
+    final_loss: Option<f64>,
     single_thread_wall_ms: Option<f64>,
     parallel_self_speedup: Option<f64>,
     speedup_vs_baseline: Option<f64>,
@@ -54,6 +57,7 @@ struct Snapshot {
     threads: usize,
     enumeration: WorkloadResult,
     compression: WorkloadResult,
+    dream: WorkloadResult,
     eval: WorkloadResult,
     telemetry: Value,
 }
@@ -91,6 +95,8 @@ fn enumeration_workload(budget: f64) -> WorkloadResult {
         programs_per_sec: Some(total as f64 / wall.as_secs_f64().max(1e-9)),
         inventions: None,
         tasks_solved: None,
+        fantasies: None,
+        final_loss: None,
         single_thread_wall_ms: None,
         parallel_self_speedup: None,
         speedup_vs_baseline: None,
@@ -183,6 +189,73 @@ fn compression_workload(smoke: bool) -> WorkloadResult {
         programs_per_sec: None,
         inventions: Some(inventions),
         tasks_solved: None,
+        fantasies: None,
+        final_loss: None,
+        single_thread_wall_ms: Some(single_ms),
+        parallel_self_speedup: Some(single_ms / wall_ms.max(1e-9)),
+        speedup_vs_baseline: None,
+    }
+}
+
+fn run_dream(seed: u64, rcfg: &dc_wakesleep::RecognitionConfig) -> (f64, u64, f64) {
+    use dc_recognition::{Objective, Parameterization, RecognitionModel};
+    use dc_tasks::domains::list::ListDomain;
+    use dc_tasks::Domain;
+    use dc_wakesleep::dream_sleep;
+    use rand::SeedableRng;
+    let domain = ListDomain::new(0);
+    let lib = domain.initial_library();
+    let g = Grammar::uniform(Arc::clone(&lib));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let mut model = RecognitionModel::new(
+        Arc::clone(&lib),
+        domain.feature_dim(),
+        rcfg.hidden_dim,
+        Parameterization::Bigram,
+        Objective::Map,
+        rcfg.learning_rate,
+        &mut rng,
+    );
+    let started = Instant::now();
+    let stats = dream_sleep(&mut model, &domain, &g, &[], rcfg, &mut rng);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    (wall_ms, stats.fantasies as u64, stats.final_loss)
+}
+
+/// The fixed dream-sleep workload: fantasize and train on the list domain
+/// with MAP fantasies bounded by nats (no wall clock in the work itself).
+/// Run twice — parallel and capped to one thread — asserting the fantasy
+/// count and final loss are bit-identical: the §9 determinism contract.
+fn dream_workload(smoke: bool) -> WorkloadResult {
+    let rcfg = dc_wakesleep::RecognitionConfig {
+        fantasies: if smoke { 8 } else { 48 },
+        epochs: if smoke { 2 } else { 8 },
+        hidden_dim: 16,
+        map_fantasies: true,
+        map_fantasy_budget: Some(6.5),
+        ..dc_wakesleep::RecognitionConfig::default()
+    };
+    let (wall_ms, fantasies, final_loss) = run_dream(17, &rcfg);
+    rayon::set_max_threads(Some(1));
+    let (single_ms, single_fantasies, single_loss) = run_dream(17, &rcfg);
+    rayon::set_max_threads(None);
+    assert_eq!(
+        fantasies, single_fantasies,
+        "parallel and single-thread dreams must fantasize identically"
+    );
+    assert_eq!(
+        final_loss.to_bits(),
+        single_loss.to_bits(),
+        "parallel and single-thread dream training must converge identically"
+    );
+    WorkloadResult {
+        wall_ms,
+        programs: None,
+        programs_per_sec: None,
+        inventions: None,
+        tasks_solved: None,
+        fantasies: Some(fantasies),
+        final_loss: Some(final_loss),
         single_thread_wall_ms: Some(single_ms),
         parallel_self_speedup: Some(single_ms / wall_ms.max(1e-9)),
         speedup_vs_baseline: None,
@@ -216,6 +289,8 @@ fn eval_workload(per_task: Duration) -> WorkloadResult {
         programs_per_sec: None,
         inventions: None,
         tasks_solved: Some(solved as u64),
+        fantasies: None,
+        final_loss: None,
         single_thread_wall_ms: None,
         parallel_self_speedup: None,
         speedup_vs_baseline: None,
@@ -229,7 +304,7 @@ fn baseline_wall(baseline: &Value, workload: &str) -> Option<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_2.json".to_owned());
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_4.json".to_owned());
     let baseline: Option<Value> = flag(&args, "--baseline").map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -253,6 +328,16 @@ fn main() {
         compression.wall_ms, compression.inventions
     );
 
+    eprintln!("[bench_snapshot] dream workload...");
+    let mut dream = dream_workload(smoke);
+    eprintln!(
+        "  {:.0} ms ({:.0} ms single-thread), {} fantasies, final loss {:.4}",
+        dream.wall_ms,
+        dream.single_thread_wall_ms.unwrap_or(0.0),
+        dream.fantasies.unwrap_or(0),
+        dream.final_loss.unwrap_or(f64::NAN)
+    );
+
     eprintln!("[bench_snapshot] eval workload...");
     let mut eval = eval_workload(Duration::from_millis(if smoke { 50 } else { 400 }));
     eprintln!(
@@ -265,6 +350,7 @@ fn main() {
         for (w, name) in [
             (&mut enumeration, "enumeration"),
             (&mut compression, "compression"),
+            (&mut dream, "dream"),
             (&mut eval, "eval"),
         ] {
             if let Some(before) = baseline_wall(b, name) {
@@ -281,6 +367,7 @@ fn main() {
         threads: rayon::current_num_threads(),
         enumeration,
         compression,
+        dream,
         eval,
         telemetry,
     };

@@ -57,15 +57,25 @@ impl Frontier {
     /// `-inf + inf` of a degenerate likelihood/prior pair) or `-inf`
     /// carries no usable mass and would poison the beam ordering.
     pub fn insert(&mut self, entry: FrontierEntry, beam_size: usize) {
-        if !entry.log_posterior().is_finite() {
+        let lp = entry.log_posterior();
+        if !lp.is_finite() {
             return;
         }
         if self.entries.iter().any(|e| e.expr == entry.expr) {
             return;
         }
-        self.entries.push(entry);
-        self.entries
-            .sort_by(|a, b| b.log_posterior().total_cmp(&a.log_posterior()));
+        // The beam is kept sorted (best first), so the insertion point is a
+        // binary search, not the full re-sort this used to do on every hit
+        // inside the wake hot loop. `>=` places ties *after* existing equal
+        // entries — exactly where the old stable sort of a tail-appended
+        // entry left them — so tie-breaking is unchanged.
+        let pos = self
+            .entries
+            .partition_point(|e| e.log_posterior().total_cmp(&lp).is_ge());
+        if pos >= beam_size {
+            return; // would fall off the beam immediately
+        }
+        self.entries.insert(pos, entry);
         self.entries.truncate(beam_size);
     }
 
@@ -153,6 +163,75 @@ mod tests {
         f.insert(entry("0", f64::NAN, 0.0), 5);
         assert_eq!(f.len(), 1);
         assert_eq!(f.best().unwrap().log_prior, -2.0);
+    }
+
+    #[test]
+    fn insertion_order_never_changes_the_beam() {
+        // Every permutation of the same inserts must produce the identical
+        // beam (entries, order, and scores) — the invariant the
+        // partition-point insertion has to preserve.
+        let sources = [
+            ("0", -5.0),
+            ("1", -3.0),
+            ("(+ 1 1)", -8.0),
+            ("(+ 0 1)", -1.0),
+            ("(+ 1 0)", -6.5),
+            ("(+ 0 0)", -2.25),
+        ];
+        let beam = 3;
+        let build = |order: &[usize]| {
+            let mut f = Frontier::new(tint());
+            for &i in order {
+                let (src, lp) = sources[i];
+                f.insert(entry(src, 0.0, lp), beam);
+            }
+            f.entries
+                .iter()
+                .map(|e| (e.expr.to_string(), e.log_posterior().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let reference = build(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(reference.len(), beam);
+        assert_eq!(reference[0].0, "(+ 0 1)");
+        // All 720 permutations of 6 inserts, generated by Heap's algorithm.
+        let mut order = [0usize, 1, 2, 3, 4, 5];
+        let mut stack = [0usize; 6];
+        let mut i = 0;
+        assert_eq!(build(&order), reference);
+        while i < order.len() {
+            if stack[i] < i {
+                if i % 2 == 0 {
+                    order.swap(0, i);
+                } else {
+                    order.swap(stack[i], i);
+                }
+                assert_eq!(build(&order), reference, "diverged on order {order:?}");
+                stack[i] += 1;
+                i = 0;
+            } else {
+                stack[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn full_beams_reject_entries_past_the_boundary() {
+        let mut f = Frontier::new(tint());
+        f.insert(entry("0", 0.0, -1.0), 2);
+        f.insert(entry("1", 0.0, -2.0), 2);
+        // Worse than the last kept entry: rejected without growing.
+        f.insert(entry("(+ 1 1)", 0.0, -3.0), 2);
+        assert_eq!(f.len(), 2);
+        // A boundary tie also loses to the incumbent (the old stable-sort
+        // behavior: the later arrival sorts after its equal and truncates).
+        f.insert(entry("(+ 0 0)", 0.0, -2.0), 2);
+        assert_eq!(f.best().unwrap().expr.to_string(), "0");
+        assert_eq!(f.entries[1].expr.to_string(), "1");
+        // A strictly better entry still displaces the tail.
+        f.insert(entry("(+ 0 1)", 0.0, -1.5), 2);
+        assert_eq!(f.entries[1].expr.to_string(), "(+ 0 1)");
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

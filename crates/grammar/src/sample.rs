@@ -55,8 +55,14 @@ fn sample_inner<R: Rng + ?Sized>(
     if cands.is_empty() {
         return None;
     }
-    // Sample proportional to exp(log_prob).
-    let u: f64 = rng.gen();
+    // Sample proportional to exp(log_prob). Candidate probabilities are
+    // normalized in log space, but their exp-sum can fall short of 1 under
+    // float underflow/rounding; drawing `u` on [0,1) and falling back to
+    // the last candidate would silently hand that missing mass to whoever
+    // sorts last. Scaling the draw by the actual total mass keeps every
+    // candidate at exactly its normalized probability.
+    let total: f64 = cands.iter().map(|c| c.log_prob.exp()).sum();
+    let u: f64 = rng.gen::<f64>() * total;
     let mut acc = 0.0;
     let mut chosen = cands.len() - 1;
     for (i, c) in cands.iter().enumerate() {
@@ -137,6 +143,40 @@ mod tests {
             if let Some(e) = sample_program(&g, &t, &mut rng, 8) {
                 assert!(g.log_prior(&t, &e).is_finite(), "sample {e} has -inf prior");
             }
+        }
+    }
+
+    #[test]
+    fn sampling_is_unbiased_over_many_feasible_heads() {
+        use dc_lambda::eval::Value;
+        use dc_lambda::expr::Primitive;
+        use std::collections::HashMap;
+
+        // A context with many feasible heads: 12 nullary int constants, so
+        // every draw succeeds and the head frequency IS the candidate
+        // probability. Regression test for the last-candidate fallback
+        // bias: no head (in particular not the final one) may absorb
+        // missing probability mass.
+        let k = 12usize;
+        let lib = Arc::new(Library::from_primitives((0..k).map(|i| {
+            Primitive::constant(&format!("c{i}"), tint(), Value::Int(i as i64))
+        })));
+        let g = Grammar::uniform(lib);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let n = 12_000usize;
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for _ in 0..n {
+            let e = sample_program(&g, &tint(), &mut rng, 4).expect("constants always sample");
+            *counts.entry(e.to_string()).or_default() += 1;
+        }
+        let expected = n as f64 / k as f64;
+        // 4σ of a binomial with p = 1/12 over 12k draws is ~120; allow 200.
+        for i in 0..k {
+            let got = *counts.get(&format!("c{i}")).unwrap_or(&0) as f64;
+            assert!(
+                (got - expected).abs() < 200.0,
+                "head c{i} drawn {got} times, expected ~{expected:.0}"
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use dc_grammar::grammar::{generation_trace, ContextualGrammar, Grammar};
+use dc_grammar::grammar::{generation_trace, ContextualGrammar, GenEvent, Grammar};
 use dc_grammar::library::{logsumexp, BigramParent, Library};
 use dc_lambda::expr::Expr;
 use dc_lambda::types::Type;
@@ -273,26 +273,36 @@ impl RecognitionModel {
     /// the *type-feasible* candidates at each generation choice point —
     /// exactly the probability enumeration would assign.
     pub fn train_step(&mut self, example: &TrainingExample) -> f64 {
-        let trace = self.mlp.forward(&example.features);
-        let logits = trace.output().to_vec();
-        let n = self.library.len();
-        let mut grad = vec![0.0; logits.len()];
-        let mut loss = 0.0;
-        // Feasibility events are weight-independent: compute them against a
-        // uniform grammar over the same library.
+        // One-shot path: trace against a throwaway uniform grammar. The
+        // epoch loop in [`RecognitionModel::train`] hoists both the grammar
+        // and the traces out of the hot path instead.
         let scorer = Grammar::uniform(Arc::clone(&self.library));
-        for (expr, weight) in &example.programs {
-            let Some((_, events)) = generation_trace(&scorer, &example.request, expr) else {
-                continue;
-            };
-            for ev in &events {
+        let traces = prepare_traces(&scorer, example);
+        self.train_step_traced(&example.features, &traces)
+    }
+
+    /// The SGD inner step over precomputed generation traces. The trace
+    /// events (type-feasibility per choice point) are weight-independent,
+    /// so callers compute them once per example and replay them every
+    /// epoch; only the logits and gradients here change between steps.
+    fn train_step_traced(&mut self, features: &[f64], traces: &[(f64, Vec<GenEvent>)]) -> f64 {
+        let trace = self.mlp.forward(features);
+        let n = self.library.len();
+        let mut grad = vec![0.0; trace.output().len()];
+        let mut loss = 0.0;
+        let mut terms: Vec<f64> = Vec::new();
+        for (weight, events) in traces {
+            let weight = *weight;
+            let logits = trace.output();
+            for ev in events {
                 let base = self.slot_base(ev.parent, ev.arg);
                 let var_logit = logits[base + n] + self.bias_for(None);
-                let mut terms: Vec<f64> = ev
-                    .feasible_prods
-                    .iter()
-                    .map(|&j| logits[base + j] + self.bias_for(Some(j)))
-                    .collect();
+                terms.clear();
+                terms.extend(
+                    ev.feasible_prods
+                        .iter()
+                        .map(|&j| logits[base + j] + self.bias_for(Some(j))),
+                );
                 if ev.feasible_vars > 0 {
                     terms.push(var_logit + (ev.feasible_vars as f64).ln());
                 }
@@ -322,6 +332,11 @@ impl RecognitionModel {
 
     /// Train over the examples for `epochs` passes (order shuffled by the
     /// provided RNG); returns the mean loss of the final epoch.
+    ///
+    /// The weight-independent generation traces are computed once per
+    /// example (in parallel, order-preserving) and replayed across epochs;
+    /// the SGD steps themselves stay strictly sequential in shuffle order,
+    /// so training is bit-for-bit identical at any thread count.
     pub fn train<R: Rng + ?Sized>(
         &mut self,
         examples: &[TrainingExample],
@@ -332,6 +347,17 @@ impl RecognitionModel {
         if examples.is_empty() {
             return last;
         }
+        // Hoisted out of the epoch loop: one uniform grammar (the old code
+        // rebuilt it on every step) and one trace per example (the old code
+        // re-derived them `epochs` times).
+        let scorer = Grammar::uniform(Arc::clone(&self.library));
+        let prepared: Vec<Vec<(f64, Vec<GenEvent>)>> = {
+            use rayon::prelude::*;
+            examples
+                .par_iter()
+                .map(|ex| prepare_traces(&scorer, ex))
+                .collect()
+        };
         let mut order: Vec<usize> = (0..examples.len()).collect();
         for epoch in 0..epochs {
             // Fisher-Yates shuffle.
@@ -341,7 +367,7 @@ impl RecognitionModel {
             }
             last = order
                 .iter()
-                .map(|&i| self.train_step(&examples[i]))
+                .map(|&i| self.train_step_traced(&examples[i].features, &prepared[i]))
                 .sum::<f64>()
                 / examples.len() as f64;
             dc_telemetry::incr("recognition.epochs");
@@ -359,6 +385,20 @@ impl RecognitionModel {
         dc_telemetry::set_gauge("recognition.final_loss", last);
         last
     }
+}
+
+/// Compute the weight-independent generation traces for one example: the
+/// feasible-candidate events of each target program, against a uniform
+/// grammar over the model's library (feasibility depends only on types,
+/// never on θ). Programs the grammar cannot generate contribute nothing.
+fn prepare_traces(scorer: &Grammar, example: &TrainingExample) -> Vec<(f64, Vec<GenEvent>)> {
+    example
+        .programs
+        .iter()
+        .filter_map(|(expr, weight)| {
+            generation_trace(scorer, &example.request, expr).map(|(_, events)| (*weight, events))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -101,6 +101,11 @@ pub struct RecognitionConfig {
     pub map_fantasies: bool,
     /// Per-dream enumeration budget when `map_fantasies` is on.
     pub map_fantasy_timeout: std::time::Duration,
+    /// Optional nats budget for the MAP-fantasy enumeration. When set, the
+    /// per-dream search is bounded by description length instead of wall
+    /// clock, so MAP fantasies stay deterministic (DESIGN.md §8); the
+    /// timeout above is ignored.
+    pub map_fantasy_budget: Option<f64>,
 }
 
 impl Default for RecognitionConfig {
@@ -115,6 +120,7 @@ impl Default for RecognitionConfig {
             sample_depth: 10,
             map_fantasies: false,
             map_fantasy_timeout: std::time::Duration::from_millis(100),
+            map_fantasy_budget: None,
         }
     }
 }

@@ -33,5 +33,5 @@ pub use checkpoint::{
 pub use config::{Condition, DreamCoderConfig, RecognitionConfig};
 pub use report::{comparison_table, learning_curve, sparkline};
 pub use run::{CycleStats, DreamCoder, RunSummary};
-pub use sleep::{abstraction_sleep, dream_sleep, DreamStats};
+pub use sleep::{abstraction_sleep, dream_sleep, generate_fantasies, DreamStats};
 pub use wake::{search_task, search_task_guarded, wake, Guide, TaskSearchResult};

@@ -14,6 +14,7 @@ use dc_tasks::domain::Domain;
 use dc_tasks::task::Task;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::checkpoint::{self, Checkpoint, CheckpointError, SavedRngState, TaskFrontier};
@@ -244,7 +245,13 @@ impl<'d> DreamCoder<'d> {
         indices.shuffle(&mut self.rng);
         indices.truncate(self.config.minibatch.max(1));
         let tasks: Vec<&Task> = indices.iter().map(|&i| &train[i]).collect();
-        let guides: Vec<Guide> = tasks.iter().map(|t| self.guide_for(t)).collect();
+        // `predict` decodes a full bigram tensor per task — parallelize it
+        // like the search itself. The collect preserves task order, so the
+        // guides (and everything downstream) are thread-count-invariant.
+        let guides: Vec<Guide> = {
+            let _timer = dc_telemetry::time("wake.predict");
+            tasks.par_iter().map(|t| self.guide_for(t)).collect()
+        };
         let results = wake(
             &tasks,
             &guides,

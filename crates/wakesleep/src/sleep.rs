@@ -9,13 +9,16 @@ use dc_grammar::inside_outside::fit_grammar;
 use dc_grammar::library::Library;
 use dc_grammar::sample::sample_program_with_retries;
 use dc_lambda::expr::{Expr, Invented};
-use dc_recognition::{replay_example, RecognitionModel, TrainingExample};
+use dc_lambda::types::Type;
+use dc_recognition::{fantasy_example, replay_example, RecognitionModel, TrainingExample};
 use dc_tasks::domain::Domain;
 use dc_tasks::task::Task;
 use dc_vspace::{compress, CompressionConfig, CompressionResult};
-use rand::Rng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::config::Condition;
+use crate::wake::panic_message;
 
 /// Run abstraction sleep under the given experimental condition.
 ///
@@ -135,46 +138,21 @@ pub fn dream_sleep<R: Rng>(
         }
     }
     let replays = examples.len();
-    let requests = domain.dream_requests();
-    // A domain with no dream requests can't fantasize (and `gen_range`
-    // over an empty range would panic): train on replays alone.
-    if requests.is_empty() {
-        let final_loss = model.train(&examples, config.epochs, rng);
-        return DreamStats {
-            replays,
-            fantasies: 0,
-            final_loss,
-        };
-    }
-    let mut made = 0;
-    let mut attempts = 0;
-    while made < config.fantasies && attempts < config.fantasies * 10 {
-        attempts += 1;
-        let request = &requests[rng.gen_range(0..requests.len())];
-        let Some(program) =
-            sample_program_with_retries(grammar, request, rng, config.sample_depth, 10)
-        else {
-            continue;
-        };
-        let Some(task) = domain.dream(&program, request, rng) else {
-            continue;
-        };
-        // Appendix Algorithm 3: with MAP fantasies, the training target is
-        // the maximum-a-posteriori program found by a short enumeration on
-        // the dreamed task, not the sampled program itself.
-        let target = if config.map_fantasies {
-            map_program_for(grammar, &task, config.map_fantasy_timeout).unwrap_or(program)
-        } else {
-            program
-        };
-        examples.push(TrainingExample {
-            features: task.features.clone(),
-            request: request.clone(),
-            programs: vec![(target, 1.0)],
-        });
-        made += 1;
-    }
-    let final_loss = model.train(&examples, config.epochs, rng);
+    // The master RNG is consumed exactly once here regardless of thread
+    // count, fantasy yield, or panics: a single u64 keys every per-slot
+    // substream. Both the dreamed set and the post-dream RNG state are
+    // therefore bit-identical across thread counts (DESIGN.md §9).
+    let stream_key: u64 = rng.gen();
+    let fantasies = {
+        let _timer = dc_telemetry::time("dream.fantasies");
+        generate_fantasies(domain, grammar, config, stream_key)
+    };
+    let made = fantasies.len();
+    examples.extend(fantasies);
+    let final_loss = {
+        let _timer = dc_telemetry::time("dream.train");
+        model.train(&examples, config.epochs, rng)
+    };
     DreamStats {
         replays,
         fantasies: made,
@@ -182,17 +160,134 @@ pub fn dream_sleep<R: Rng>(
     }
 }
 
+/// Derive the ChaCha8 substream for one fantasy slot. The 32-byte seed
+/// mixes a domain-separation tag, the cycle's master `stream_key`, and the
+/// slot index, so a slot's randomness is a pure function of (key, slot) —
+/// independent of scheduling, thread count, and sibling outcomes.
+fn fantasy_substream(stream_key: u64, slot: u64) -> rand_chacha::ChaCha8Rng {
+    let mut seed = [0u8; 32];
+    seed[..16].copy_from_slice(b"dc-dream-fantasy");
+    seed[16..24].copy_from_slice(&stream_key.to_le_bytes());
+    seed[24..].copy_from_slice(&slot.to_le_bytes());
+    rand_chacha::ChaCha8Rng::from_seed(seed)
+}
+
+/// Generate up to `config.fantasies` fantasy examples, fanned out across
+/// threads by slot index (§4's dreaming, parallelized).
+///
+/// Slots run in waves of `config.fantasies`; each slot samples, dreams,
+/// and (optionally) MAP-solves inside its own [`fantasy_substream`], and
+/// successes are kept in slot order. The result is a pure function of
+/// `(grammar, config, stream_key)` at any thread count. Ten waves bound
+/// the work at the serial loop's old `fantasies * 10` attempt budget.
+pub fn generate_fantasies(
+    domain: &dyn Domain,
+    grammar: &Grammar,
+    config: &crate::config::RecognitionConfig,
+    stream_key: u64,
+) -> Vec<TrainingExample> {
+    let requests = domain.dream_requests();
+    // A domain with no dream requests can't fantasize (and `gen_range`
+    // over an empty range would panic): nothing to dream.
+    if requests.is_empty() || config.fantasies == 0 {
+        return Vec::new();
+    }
+    let mut examples: Vec<TrainingExample> = Vec::with_capacity(config.fantasies);
+    for wave in 0..10u64 {
+        let lo = wave * config.fantasies as u64;
+        let slots: Vec<u64> = (lo..lo + config.fantasies as u64).collect();
+        let produced: Vec<Option<TrainingExample>> = slots
+            .par_iter()
+            .map(|&slot| {
+                fantasy_attempt_guarded(domain, grammar, &requests, config, stream_key, slot)
+            })
+            .collect();
+        examples.extend(produced.into_iter().flatten());
+        if examples.len() >= config.fantasies {
+            break;
+        }
+    }
+    examples.truncate(config.fantasies);
+    examples
+}
+
+/// One fantasy attempt in its own substream: sample a program, execute it
+/// via `domain.dream`, and (with MAP fantasies) replace the target with
+/// the cheapest program solving the dreamed task.
+fn fantasy_attempt(
+    domain: &dyn Domain,
+    grammar: &Grammar,
+    requests: &[Type],
+    config: &crate::config::RecognitionConfig,
+    stream_key: u64,
+    slot: u64,
+) -> Option<TrainingExample> {
+    let mut rng = fantasy_substream(stream_key, slot);
+    let request = &requests[rng.gen_range(0..requests.len())];
+    let program = sample_program_with_retries(grammar, request, &mut rng, config.sample_depth, 10)?;
+    let task = domain.dream(&program, request, &mut rng)?;
+    // Appendix Algorithm 3: with MAP fantasies, the training target is the
+    // maximum-a-posteriori program found by a short enumeration on the
+    // dreamed task, not the sampled program itself.
+    let target = if config.map_fantasies {
+        map_program_for(grammar, &task, config).unwrap_or(program)
+    } else {
+        program
+    };
+    Some(fantasy_example(
+        task.features,
+        request.clone(),
+        vec![(target, 1.0)],
+    ))
+}
+
+/// [`fantasy_attempt`] with panic isolation: a panicking domain evaluator
+/// (in `dream` or in the MAP enumeration's oracle) costs one skipped
+/// fantasy and a telemetry event, not the whole dream sleep.
+fn fantasy_attempt_guarded(
+    domain: &dyn Domain,
+    grammar: &Grammar,
+    requests: &[Type],
+    config: &crate::config::RecognitionConfig,
+    stream_key: u64,
+    slot: u64,
+) -> Option<TrainingExample> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fantasy_attempt(domain, grammar, requests, config, stream_key, slot)
+    }))
+    .unwrap_or_else(|payload| {
+        let message = panic_message(&*payload);
+        dc_telemetry::incr("dream.fantasy_panics");
+        dc_telemetry::event(
+            dc_telemetry::Level::Warn,
+            "dream.fantasy_panic",
+            &[("slot", slot.into()), ("message", message.into())],
+        );
+        None
+    })
+}
+
 /// Algorithm 3's inner step: enumerate in decreasing prior order and keep
 /// the program maximizing `P[x|rho] P[rho|D,theta]` for the dreamed task.
+///
+/// With a `map_fantasy_budget` the search is bounded by description length
+/// (deterministic); otherwise by the wall-clock `map_fantasy_timeout`.
 fn map_program_for(
     grammar: &Grammar,
     task: &Task,
-    timeout: std::time::Duration,
+    config: &crate::config::RecognitionConfig,
 ) -> Option<dc_lambda::expr::Expr> {
     use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
-    let cfg = EnumerationConfig {
-        timeout: Some(timeout),
-        ..EnumerationConfig::default()
+    let cfg = match config.map_fantasy_budget {
+        Some(nats) => EnumerationConfig {
+            timeout: None,
+            max_budget: nats,
+            ..EnumerationConfig::default()
+        },
+        None => EnumerationConfig {
+            timeout: Some(config.map_fantasy_timeout),
+            ..EnumerationConfig::default()
+        },
     };
     let mut best: Option<(dc_lambda::expr::Expr, f64)> = None;
     enumerate_programs(grammar, &task.request, &cfg, &mut |expr, prior| {
@@ -352,6 +447,76 @@ mod tests {
         // Former panic site: gen_range(0..0) on the empty request list.
         let stats = dream_sleep(&mut model, &domain, &g, &[(&task, &f)], &rcfg, &mut rng);
         assert_eq!(stats.fantasies, 0, "no requests means no fantasies");
+        assert_eq!(stats.replays, 1, "replays still train");
+        assert!(stats.final_loss.is_finite());
+    }
+
+    #[test]
+    fn a_panicking_dream_evaluator_degrades_to_skipped_fantasies() {
+        use dc_lambda::primitives::PrimitiveSet;
+        use rand::RngCore;
+
+        /// A stub domain whose dream executor always panics.
+        struct PoisonedDreams {
+            prims: PrimitiveSet,
+            tasks: Vec<Task>,
+        }
+        impl Domain for PoisonedDreams {
+            fn name(&self) -> &str {
+                "poisoned-dreams"
+            }
+            fn primitives(&self) -> &PrimitiveSet {
+                &self.prims
+            }
+            fn train_tasks(&self) -> &[Task] {
+                &self.tasks
+            }
+            fn test_tasks(&self) -> &[Task] {
+                &self.tasks
+            }
+            fn feature_dim(&self) -> usize {
+                2
+            }
+            fn dream_requests(&self) -> Vec<Type> {
+                vec![tint()]
+            }
+            fn dream(&self, _: &Expr, _: &Type, _: &mut dyn RngCore) -> Option<Task> {
+                panic!("injected dream panic");
+            }
+        }
+
+        let domain = PoisonedDreams {
+            prims: base_primitives(),
+            tasks: Vec::new(),
+        };
+        let lib = domain.initial_library();
+        let g = Grammar::uniform(Arc::clone(&lib));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let mut model = RecognitionModel::new(
+            Arc::clone(&lib),
+            2,
+            8,
+            Parameterization::Bigram,
+            Objective::Map,
+            0.01,
+            &mut rng,
+        );
+        let t = Type::arrow(tlist(tint()), tlist(tint()));
+        let f = frontier_for(&g, "(lambda (map (lambda (+ $0 1)) $0))", t.clone());
+        let task = Task::io("replay", t, vec![], vec![0.0, 0.0]);
+        let rcfg = crate::config::RecognitionConfig {
+            fantasies: 5,
+            epochs: 2,
+            ..crate::config::RecognitionConfig::default()
+        };
+        // Quiet the default per-panic stderr backtrace for this test.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        // Former crash site: an unwinding `domain.dream` tore down the
+        // whole sleep. Each panic now costs exactly its own slot.
+        let stats = dream_sleep(&mut model, &domain, &g, &[(&task, &f)], &rcfg, &mut rng);
+        std::panic::set_hook(prev_hook);
+        assert_eq!(stats.fantasies, 0, "panicking dreams are skipped");
         assert_eq!(stats.replays, 1, "replays still train");
         assert!(stats.final_loss.is_finite());
     }

@@ -81,6 +81,15 @@ pub fn search_task(
     }
 }
 
+/// Best-effort human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
 /// [`search_task`] with per-task panic isolation: a panicking evaluator
 /// (a poisoned oracle, an arithmetic edge case deep in a domain) yields
 /// an **empty frontier** plus a telemetry event instead of unwinding
@@ -98,11 +107,7 @@ pub fn search_task_guarded(
     match attempt {
         Ok(result) => result,
         Err(payload) => {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            let message = panic_message(&*payload);
             dc_telemetry::incr("wake.task_panics");
             dc_telemetry::event(
                 dc_telemetry::Level::Warn,

@@ -22,6 +22,7 @@ use dreamcoder::tasks::domains::tower::TowerDomain;
 use dreamcoder::tasks::Domain;
 use dreamcoder::wakesleep::{
     latest_checkpoint, search_task, Checkpoint, Condition, DreamCoder, DreamCoderConfig, Guide,
+    RecognitionConfig,
 };
 use std::sync::Arc;
 
@@ -95,6 +96,7 @@ fn usage() -> ExitCode {
          \x20              [--wake-ms MS] [--test-ms MS] [--minibatch N] [--seed N] [--events FILE] [--threads N]\n\
          \x20              [--checkpoint-dir DIR] [--checkpoint-keep N] [--resume] [--summary-out FILE]\n\
          \x20              [--deterministic] [--wake-nats B] [--test-nats B]\n\
+         \x20              [--map-fantasies] [--fantasy-nats B]\n\
          dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
          dreamcoder domains\n\
          \n\
@@ -105,7 +107,9 @@ fn usage() -> ExitCode {
          --resume restarts from the newest one. --deterministic replaces the\n\
          wall-clock enumeration budgets with nats budgets (--wake-nats,\n\
          --test-nats) and zeroes timing metrics, making a seeded run byte-\n\
-         reproducible (DESIGN.md \u{a7}8)."
+         reproducible (DESIGN.md \u{a7}8). --map-fantasies trains dreams on\n\
+         each dreamed task's MAP program (Appendix Alg. 3); combined with\n\
+         --deterministic that search is bounded by --fantasy-nats B."
     );
     ExitCode::FAILURE
 }
@@ -186,12 +190,24 @@ fn main() -> ExitCode {
                 )
             };
             let checkpoint_dir = args.flag("--checkpoint-dir").map(std::path::PathBuf::from);
+            let recognition = RecognitionConfig {
+                map_fantasies: args.has("--map-fantasies"),
+                // Under --deterministic the MAP-fantasy enumeration is
+                // bounded by nats, not wall clock (DESIGN.md §9).
+                map_fantasy_budget: if deterministic {
+                    Some(args.flag_f64("--fantasy-nats", 6.5))
+                } else {
+                    None
+                },
+                ..RecognitionConfig::default()
+            };
             let config = DreamCoderConfig {
                 condition,
                 cycles: args.flag_u64("--cycles", 3) as usize,
                 minibatch: args.flag_u64("--minibatch", 12) as usize,
                 enumeration,
                 test_enumeration,
+                recognition,
                 seed: args.flag_u64("--seed", 0),
                 checkpoint_dir: checkpoint_dir.clone(),
                 checkpoint_keep: args.flag_u64("--checkpoint-keep", 3) as usize,

@@ -29,6 +29,23 @@ pub fn set_max_threads(cap: Option<usize>) {
     MAX_THREADS.store(cap.unwrap_or(0), Ordering::SeqCst);
 }
 
+/// Run `f` with the worker cap temporarily set to `cap`, restoring the
+/// previous cap afterwards (panic-safe). Subset extension: determinism
+/// tests and benches compare a single-thread run against a parallel run
+/// of the same workload, and the save/restore dance is easy to get wrong
+/// by hand. Note the cap is process-global, so concurrent callers still
+/// need external serialization.
+pub fn with_max_threads<T>(cap: Option<usize>, f: impl FnOnce() -> T) -> T {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.store(self.0, Ordering::SeqCst);
+        }
+    }
+    let _restore = Restore(MAX_THREADS.swap(cap.unwrap_or(0), Ordering::SeqCst));
+    f()
+}
+
 /// The number of worker threads parallel calls will currently use:
 /// [`set_max_threads`] override, else `DC_THREADS`, else
 /// `available_parallelism`.
@@ -314,6 +331,10 @@ impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for ParZip<A, B>
 mod tests {
     use super::prelude::*;
 
+    /// Serializes tests that write or observe the process-global worker
+    /// cap, so they can't race each other's view of it.
+    static CAP_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn map_collect_preserves_order() {
         let xs: Vec<u64> = (0..10_000).collect();
@@ -340,6 +361,7 @@ mod tests {
     fn work_actually_spreads_across_threads() {
         use std::collections::HashSet;
         use std::sync::Mutex;
+        let _cap = CAP_LOCK.lock().unwrap();
         let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
         let xs: Vec<u32> = (0..4096).collect();
         let _: Vec<u32> = xs
@@ -384,6 +406,22 @@ mod tests {
         let par = xs.par_iter().map(|&v| v).max_by_stable(|a, b| a.cmp(b));
         let seq = xs.iter().copied().max();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn with_max_threads_restores_previous_cap() {
+        let _cap = CAP_LOCK.lock().unwrap();
+        crate::set_max_threads(Some(7));
+        let inside = crate::with_max_threads(Some(1), crate::current_num_threads);
+        assert_eq!(inside, 1);
+        assert_eq!(crate::current_num_threads(), 7);
+        // Restores even when `f` panics.
+        let caught = std::panic::catch_unwind(|| {
+            crate::with_max_threads(Some(2), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert_eq!(crate::current_num_threads(), 7);
+        crate::set_max_threads(None);
     }
 
     #[test]

@@ -50,11 +50,19 @@ struct WorkloadResult {
     speedup_vs_baseline: Option<f64>,
 }
 
+#[derive(Debug, Clone, Serialize)]
+struct InstrumentationOverhead {
+    disabled_wall_ms: f64,
+    enabled_wall_ms: f64,
+    overhead_ratio: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Snapshot {
     schema: &'static str,
     mode: &'static str,
     threads: usize,
+    instrumentation: InstrumentationOverhead,
     enumeration: WorkloadResult,
     compression: WorkloadResult,
     dream: WorkloadResult,
@@ -100,6 +108,53 @@ fn enumeration_workload(budget: f64) -> WorkloadResult {
         single_thread_wall_ms: None,
         parallel_self_speedup: None,
         speedup_vs_baseline: None,
+    }
+}
+
+/// One timed pass of the enumeration workload body, returning wall ms.
+fn timed_enumeration_pass(budget: f64) -> f64 {
+    let prims = base_primitives();
+    let lib = Arc::new(Library::from_primitives(prims.iter().cloned()));
+    let g = Grammar::uniform(lib);
+    let cfg = EnumerationConfig {
+        budget_start: 6.0,
+        budget_step: 1.5,
+        max_budget: budget,
+        max_depth: 16,
+        timeout: None,
+    };
+    let started = Instant::now();
+    for request in [tint(), Type::arrow(tlist(tint()), tint())] {
+        enumerate_programs(&g, &request, &cfg, &mut |_, _| true);
+    }
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Measure the observability layer's cost on the enumeration hot path:
+/// min-of-3 wall time with telemetry (counters, histograms, spans) fully
+/// disabled versus enabled. Asserts the enabled run stays within the 5%
+/// overhead budget of DESIGN.md §10. Must run before anything else turns
+/// the global telemetry switch on — there is no public way to turn it
+/// back off.
+fn instrumentation_overhead(budget: f64) -> InstrumentationOverhead {
+    assert!(
+        !dc_telemetry::is_enabled(),
+        "overhead check must run before telemetry is enabled"
+    );
+    let min3 = |sample: &dyn Fn() -> f64| (0..3).map(|_| sample()).fold(f64::INFINITY, f64::min);
+    let disabled_wall_ms = min3(&|| timed_enumeration_pass(budget));
+    dc_telemetry::enable();
+    let enabled_wall_ms = min3(&|| timed_enumeration_pass(budget));
+    let overhead_ratio = enabled_wall_ms / disabled_wall_ms.max(1e-9);
+    assert!(
+        overhead_ratio <= 1.05,
+        "instrumentation overhead {overhead_ratio:.4}x exceeds the 5% budget \
+         (disabled {disabled_wall_ms:.1} ms, enabled {enabled_wall_ms:.1} ms)"
+    );
+    InstrumentationOverhead {
+        disabled_wall_ms,
+        enabled_wall_ms,
+        overhead_ratio,
     }
 }
 
@@ -304,12 +359,20 @@ fn baseline_wall(baseline: &Value, workload: &str) -> Option<f64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_4.json".to_owned());
+    let out = flag(&args, "--out").unwrap_or_else(|| "BENCH_5.json".to_owned());
     let baseline: Option<Value> = flag(&args, "--baseline").map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}"))
     });
+    eprintln!("[bench_snapshot] instrumentation overhead check...");
+    let instrumentation = instrumentation_overhead(if smoke { 9.5 } else { 12.0 });
+    eprintln!(
+        "  disabled {:.1} ms, enabled {:.1} ms ({:.4}x, budget 1.05x)",
+        instrumentation.disabled_wall_ms,
+        instrumentation.enabled_wall_ms,
+        instrumentation.overhead_ratio
+    );
     dc_telemetry::enable();
 
     eprintln!("[bench_snapshot] enumeration workload...");
@@ -365,6 +428,7 @@ fn main() {
         schema: "dc-bench-snapshot/1",
         mode: if smoke { "smoke" } else { "full" },
         threads: rayon::current_num_threads(),
+        instrumentation,
         enumeration,
         compression,
         dream,

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use dc_lambda::expr::Expr;
 use dc_lambda::types::{Context, Type};
 
-use crate::grammar::{candidate_heads, commit_head, ProgramPrior};
+use crate::grammar::{candidate_heads, commit_head, note_typed_out, take_typed_out, ProgramPrior};
 use crate::library::BigramParent;
 
 /// Controls for an enumeration run.
@@ -43,24 +43,56 @@ impl Default for EnumerationConfig {
     }
 }
 
+/// Forensic record of one enumeration run: how deep the search got and
+/// why it stopped, independent of what the caller did with the programs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnumerationStats {
+    /// Programs emitted to the callback.
+    pub programs: usize,
+    /// Budget windows started.
+    pub windows: u64,
+    /// Candidate heads rejected by unification (typed out) — a measure
+    /// of how much of the raw search space the type system pruned.
+    pub typed_out: u64,
+    /// Nats frontier actually completed: every program with description
+    /// length below this bound was enumerated.
+    pub frontier_nats: f64,
+    /// The run stopped on its wall-clock deadline (as opposed to
+    /// exhausting the budget or the callback ending it).
+    pub timed_out: bool,
+}
+
 /// Enumerate closed programs of type `request` in decreasing prior order.
 ///
 /// `callback(expr, log_prior)` is invoked for each program; return `false`
 /// to stop the run early. Returns the number of programs emitted.
+/// ([`enumerate_programs_stats`] additionally reports search forensics.)
 pub fn enumerate_programs(
     prior: &dyn ProgramPrior,
     request: &Type,
     config: &EnumerationConfig,
     callback: &mut dyn FnMut(Expr, f64) -> bool,
 ) -> usize {
+    enumerate_programs_stats(prior, request, config, callback).programs
+}
+
+/// [`enumerate_programs`], returning the full [`EnumerationStats`]
+/// forensic record instead of just the program count.
+pub fn enumerate_programs_stats(
+    prior: &dyn ProgramPrior,
+    request: &Type,
+    config: &EnumerationConfig,
+    callback: &mut dyn FnMut(Expr, f64) -> bool,
+) -> EnumerationStats {
+    let _span = dc_telemetry::span("enumeration.run_time");
+    let mut stats = EnumerationStats::default();
+    take_typed_out(); // drop any stale tally from this thread
     let started = Instant::now();
-    let mut emitted = 0usize;
-    let mut windows = 0u64;
     let mut lower = 0.0;
     let mut upper = config.budget_start;
     let deadline = config.timeout.map(|t| started + t);
     'outer: while lower < config.max_budget {
-        windows += 1;
+        stats.windows += 1;
         let mut ctx = Context::starting_after(request);
         let ticker = DeadlineTicker::new(deadline);
         let keep_going = enum_request(
@@ -75,30 +107,36 @@ pub fn enumerate_programs(
             config.max_depth,
             &ticker,
             &mut |_, e, ll| {
-                emitted += 1;
+                stats.programs += 1;
                 callback(e, ll)
             },
         );
         if !keep_going {
+            // Either the deadline fired mid-window or the callback asked
+            // to stop; the window is incomplete either way.
+            stats.timed_out = ticker.expired.get();
             break 'outer;
         }
+        stats.frontier_nats = upper.min(config.max_budget);
         if let Some(d) = deadline {
             if Instant::now() >= d {
+                stats.timed_out = true;
                 break 'outer;
             }
         }
         lower = upper;
         upper += config.budget_step;
     }
+    stats.typed_out = take_typed_out();
     // One batched update per run, not per program: the inner loop stays
     // free of atomics even with telemetry enabled.
     if dc_telemetry::is_enabled() {
-        dc_telemetry::add("enumeration.programs", emitted as u64);
-        dc_telemetry::add("enumeration.budget_windows", windows);
+        dc_telemetry::add("enumeration.programs", stats.programs as u64);
+        dc_telemetry::add("enumeration.budget_windows", stats.windows);
+        dc_telemetry::add("enumeration.typed_out", stats.typed_out);
         dc_telemetry::incr("enumeration.runs");
-        dc_telemetry::record_duration("enumeration.run_time", started.elapsed());
     }
-    emitted
+    stats
 }
 
 /// Poll the wall clock only every this many node expansions: per-node
@@ -200,6 +238,7 @@ fn enum_request(
         // `Context` per candidate.
         let cp = ctx.checkpoint();
         let Ok(arg_types) = commit_head(prior, ctx, env, &request, &head) else {
+            note_typed_out(1);
             ctx.rollback(cp);
             continue;
         };
@@ -393,8 +432,36 @@ mod tests {
             ..EnumerationConfig::default()
         };
         let started = Instant::now();
-        enumerate_programs(&g, &tint(), &cfg, &mut |_, _| true);
+        let stats = enumerate_programs_stats(&g, &tint(), &cfg, &mut |_, _| true);
         assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(stats.timed_out, "a 1000-nat budget must hit the deadline");
+        assert!(stats.frontier_nats < cfg.max_budget);
+    }
+
+    #[test]
+    fn stats_report_frontier_and_stop_reason() {
+        let (g, _) = grammar();
+        let cfg = EnumerationConfig {
+            max_budget: 9.0,
+            ..EnumerationConfig::default()
+        };
+        let mut emitted = 0usize;
+        let stats = enumerate_programs_stats(&g, &tint(), &cfg, &mut |_, _| {
+            emitted += 1;
+            true
+        });
+        assert_eq!(stats.programs, emitted);
+        assert!(stats.windows >= 2, "windows = {}", stats.windows);
+        assert!(stats.typed_out > 0, "unification prunes some heads");
+        // Ran to budget exhaustion: the whole budget is the frontier.
+        assert!((stats.frontier_nats - cfg.max_budget).abs() < 1e-9);
+        assert!(!stats.timed_out);
+
+        // A callback stop mid-window leaves the frontier at the last
+        // *completed* window and is not a timeout.
+        let stats = enumerate_programs_stats(&g, &tint(), &cfg, &mut |_, _| false);
+        assert!(!stats.timed_out);
+        assert!(stats.frontier_nats < cfg.max_budget);
     }
 
     #[test]

@@ -26,13 +26,37 @@ pub enum Level {
 }
 
 impl Level {
-    fn as_str(self) -> &'static str {
+    /// Lowercase name, as written in JSONL output and accepted by
+    /// [`Level::parse`].
+    pub fn as_str(self) -> &'static str {
         match self {
             Level::Debug => "debug",
             Level::Info => "info",
             Level::Warn => "warn",
         }
     }
+
+    /// Parse a level name, case-insensitively (`debug` / `info` /
+    /// `warn`; `warning` is accepted as an alias).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            _ => None,
+        }
+    }
+}
+
+/// Resolve the event-sink level from the standard sources, in documented
+/// precedence order: an explicit `--log-level` flag beats the `DC_LOG`
+/// environment variable beats the default ([`Level::Info`]).
+/// Unparseable values are ignored (falling through to the next source)
+/// rather than erroring, so a typo degrades loudness, not the run.
+pub fn resolve_level(flag: Option<&str>, env: Option<&str>) -> Level {
+    flag.and_then(Level::parse)
+        .or_else(|| env.and_then(Level::parse))
+        .unwrap_or(Level::Info)
 }
 
 /// A typed field value attached to an event.
@@ -88,7 +112,7 @@ impl From<String> for FieldValue {
 }
 
 impl FieldValue {
-    fn to_json(&self) -> Value {
+    pub(crate) fn to_json(&self) -> Value {
         match self {
             FieldValue::I64(v) => Value::Number(serde_json::Number::I64(*v)),
             FieldValue::U64(v) => Value::Number(serde_json::Number::U64(*v)),
@@ -170,4 +194,29 @@ fn now_ms() -> u64 {
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
         .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_round_trips_and_tolerates_case() {
+        for level in [Level::Debug, Level::Info, Level::Warn] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+        }
+        assert_eq!(Level::parse("  WARN "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn resolve_level_prefers_flag_then_env_then_default() {
+        assert_eq!(resolve_level(Some("debug"), Some("warn")), Level::Debug);
+        assert_eq!(resolve_level(None, Some("warn")), Level::Warn);
+        assert_eq!(resolve_level(None, None), Level::Info);
+        // Garbage at one layer falls through to the next.
+        assert_eq!(resolve_level(Some("nope"), Some("debug")), Level::Debug);
+        assert_eq!(resolve_level(Some("nope"), Some("nope")), Level::Info);
+    }
 }

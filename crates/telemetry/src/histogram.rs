@@ -80,15 +80,24 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in `[0, 1]`, in nanoseconds: the upper
-    /// bound of the bucket where the cumulative count crosses `q`, so the
-    /// true quantile is within a factor of two below the returned value.
+    /// Per-bucket sample counts (bucket `i` holds samples in
+    /// `[2^i, 2^(i+1))` ns) — what the Prometheus exposition walks.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile `q`, in nanoseconds: the upper bound of the
+    /// bucket where the cumulative count crosses `q`, so the true
+    /// quantile is within a factor of two below the returned value.
+    /// Degenerate inputs are total: an empty histogram returns 0, `q`
+    /// outside `[0, 1]` is clamped, and a NaN `q` reads as 0.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
@@ -146,8 +155,50 @@ mod tests {
     fn empty_histogram_is_zeroed() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_ns(0.5), 0);
         assert_eq!(h.mean_ns(), 0.0);
+        // Every quantile of an empty histogram is 0 — including the
+        // extremes and out-of-range / NaN requests.
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(h.quantile_ns(q), 0, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extremes_and_out_of_range_clamp() {
+        let h = Histogram::new();
+        for ns in [10u64, 100, 1000] {
+            h.record_ns(ns);
+        }
+        // q = 0.0 still reports a real (lowest-bucket) value, q = 1.0 the
+        // max; out-of-range q clamps to those instead of misindexing.
+        let q0 = h.quantile_ns(0.0);
+        assert!((10..=15).contains(&q0), "q0 = {q0}");
+        assert_eq!(h.quantile_ns(1.0), 1000);
+        assert_eq!(h.quantile_ns(-3.0), q0);
+        assert_eq!(h.quantile_ns(7.5), h.quantile_ns(1.0));
+        assert_eq!(h.quantile_ns(f64::NAN), q0);
+    }
+
+    #[test]
+    fn single_sample_histogram_reports_it_at_every_quantile() {
+        let h = Histogram::new();
+        h.record_ns(42);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), 42, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn bucket_counts_mirror_recorded_samples() {
+        let h = Histogram::new();
+        h.record_ns(1); // bucket 0: [0, 2)
+        h.record_ns(3); // bucket 1: [2, 4)
+        h.record_ns(300); // bucket 8: [256, 512)
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[8], 1);
+        assert_eq!(counts.iter().sum::<u64>(), h.count());
     }
 
     #[test]

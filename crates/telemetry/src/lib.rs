@@ -26,6 +26,17 @@
 //! [`snapshot`] captures every metric into a serializable
 //! [`TelemetrySnapshot`]; [`export_json`] renders it as the
 //! `telemetry.json` the run loop writes next to its report output.
+//!
+//! ## Live introspection
+//!
+//! Beyond the flat metrics, the crate carries the run's observability
+//! layer (DESIGN.md §10): hierarchical [`span`] tracing with
+//! flame-style aggregation and Chrome trace-event export
+//! ([`export_chrome_trace`]), a hand-rolled HTTP status server
+//! ([`start_status_server`]) exposing `/metrics`, `/status`, and
+//! `/healthz`, and shutdown plumbing ([`install_sigint_handler`],
+//! [`install_abort_flush`]) so interrupted runs still flush what they
+//! measured.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -37,10 +48,27 @@ use serde::Serialize;
 mod counters;
 mod events;
 mod histogram;
+mod server;
+mod shutdown;
+mod spans;
 
 pub use counters::{Counter, Gauge};
-pub use events::{FieldValue, Level};
+pub use events::{resolve_level, FieldValue, Level};
 pub use histogram::Histogram;
+pub use server::{
+    clear_status, prometheus_text, set_status, start_status_server, status_json, unix_time_ms,
+    StatusServer,
+};
+pub use shutdown::{
+    clear_interrupt, install_abort_flush, install_sigint_handler, interrupt_requested,
+    request_interrupt,
+};
+pub use spans::{
+    chrome_trace_json, current_span, disable_trace_collection, enable_trace_collection,
+    export_chrome_trace, reset_spans, span, span_shape, span_tree, span_under,
+    span_under_with_fields, span_with_fields, trace_collection_enabled, SpanGuard, SpanHandle,
+    SpanSnapshot,
+};
 
 /// Process-wide on/off switch. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -79,6 +107,12 @@ fn registry() -> &'static Registry {
         histograms: RwLock::new(Vec::new()),
         events: events::EventSink::new(),
     })
+}
+
+/// The metric tables, for in-crate exporters (the Prometheus endpoint
+/// walks raw histograms rather than pre-summarized snapshots).
+pub(crate) fn registry_for_export() -> &'static Registry {
+    registry()
 }
 
 fn lookup<T>(
@@ -126,6 +160,43 @@ pub fn add(name: &'static str, n: u64) {
 #[inline]
 pub fn incr(name: &'static str) {
     add(name, 1);
+}
+
+/// A call-site cache for a counter handle, for hot paths that record on
+/// every invocation: [`add`] takes the registry read lock and scans the
+/// name table each time, which shows up once a loop runs millions of
+/// times per second. A `static CachedCounter` resolves the handle on
+/// first use and thereafter costs one acquire load before the sharded
+/// atomic add. Recording while disabled is still just a relaxed load
+/// and a branch — the handle is not even resolved.
+pub struct CachedCounter {
+    name: &'static str,
+    slot: OnceLock<&'static Counter>,
+}
+
+impl CachedCounter {
+    /// A cache for the counter called `name`. `const`, so it can sit in
+    /// a `static` right next to the loop that records into it.
+    pub const fn new(name: &'static str) -> CachedCounter {
+        CachedCounter {
+            name,
+            slot: OnceLock::new(),
+        }
+    }
+
+    /// Add `n` (no-op while disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if is_enabled() {
+            self.slot.get_or_init(|| counter(self.name)).add(n);
+        }
+    }
+
+    /// Add one (no-op while disabled).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
 }
 
 /// Set the named gauge (no-op while disabled).
@@ -244,6 +315,8 @@ pub struct TelemetrySnapshot {
     pub gauges: std::collections::BTreeMap<String, f64>,
     /// Histogram summaries by name.
     pub histograms: std::collections::BTreeMap<String, HistogramSnapshot>,
+    /// Aggregated span tree (flame-style profile), children by name.
+    pub spans: Vec<SpanSnapshot>,
 }
 
 const NS_PER_MS: f64 = 1e6;
@@ -286,6 +359,7 @@ pub fn snapshot() -> TelemetrySnapshot {
         counters,
         gauges,
         histograms,
+        spans: span_tree(),
     }
 }
 
@@ -334,6 +408,21 @@ mod tests {
         let a = counter("test.stable");
         let b = counter("test.stable");
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn cached_counter_shares_the_named_counter() {
+        let _serial = flag_lock();
+        static CACHED: CachedCounter = CachedCounter::new("test.cached");
+        disable();
+        CACHED.add(99);
+        // Disabled adds neither record nor resolve the handle.
+        assert!(!snapshot().counters.contains_key("test.cached"));
+        enable();
+        CACHED.add(3);
+        CACHED.incr();
+        assert_eq!(counter("test.cached").value(), 4);
+        disable();
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Graceful-interruption plumbing: make sure an aborted run still
+//! leaves its telemetry on disk.
+//!
+//! Two mechanisms, both opt-in from the binary:
+//!
+//! * [`install_sigint_handler`] turns the *first* Ctrl-C into a
+//!   cooperative interrupt: it only sets an atomic flag which the run
+//!   loop polls at phase boundaries, finishing the current phase,
+//!   writing a final checkpoint/summary, and flushing telemetry before
+//!   exiting. The handler immediately re-arms the default disposition,
+//!   so a *second* Ctrl-C force-kills as usual — the escape hatch stays.
+//! * [`install_abort_flush`] chains a panic hook that flushes the JSONL
+//!   event tail and exports `telemetry.json` (and the Chrome trace, when
+//!   collection is on) before unwinding continues. Without it, a panic
+//!   on the main thread loses everything buffered since the last flush.
+//!
+//! The signal handler is registered through libc's `signal` (declared
+//! locally — `std` already links libc, so no new dependency) and does
+//! nothing but store to an `AtomicBool` and re-arm: both are
+//! async-signal-safe.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the SIGINT handler (or [`request_interrupt`]); polled by the
+/// run loop at phase boundaries.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Has an interrupt (Ctrl-C or programmatic) been requested?
+#[inline]
+pub fn interrupt_requested() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Request a cooperative interrupt, as the SIGINT handler does (public
+/// so tests can exercise the interrupted-run path without signals).
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::Release);
+}
+
+/// Clear a previously requested interrupt (test isolation).
+#[doc(hidden)]
+pub fn clear_interrupt() {
+    INTERRUPTED.store(false, Ordering::Release);
+}
+
+#[cfg(unix)]
+mod sigint {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+
+    // std already links libc; declaring the one symbol we need avoids
+    // pulling in a libc crate the vendor tree doesn't have.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: one store, one re-register. Re-arming the
+        // default disposition makes the second Ctrl-C terminate.
+        INTERRUPTED.store(true, Ordering::Release);
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Install the cooperative SIGINT handler (first Ctrl-C sets the
+/// interrupt flag, second force-kills). No-op on non-unix targets.
+pub fn install_sigint_handler() {
+    #[cfg(unix)]
+    sigint::install();
+}
+
+/// Chain a panic hook that flushes buffered JSONL events and writes the
+/// telemetry snapshot to `telemetry_json` (and the Chrome trace to
+/// `trace_out`, when given) before the previous hook runs. Idempotent
+/// writes: a panic caught by an isolation boundary (per-task
+/// `catch_unwind`) just refreshes the files.
+pub fn install_abort_flush(telemetry_json: Option<PathBuf>, trace_out: Option<PathBuf>) {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        crate::flush_events();
+        if let Some(path) = &telemetry_json {
+            let _ = crate::export_to_file(path);
+        }
+        if let Some(path) = &trace_out {
+            if crate::trace_collection_enabled() {
+                let _ = crate::export_chrome_trace(path);
+            }
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_flag_round_trips() {
+        clear_interrupt();
+        assert!(!interrupt_requested());
+        request_interrupt();
+        assert!(interrupt_requested());
+        clear_interrupt();
+        assert!(!interrupt_requested());
+    }
+
+    #[test]
+    fn abort_flush_writes_snapshot_on_panic() {
+        let dir = std::env::temp_dir().join(format!("dc-telemetry-abort-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let snap_path = dir.join("telemetry.json");
+        install_abort_flush(Some(snap_path.clone()), None);
+        let caught = std::panic::catch_unwind(|| panic!("boom"));
+        assert!(caught.is_err());
+        // Restore the default hook so later test panics print normally.
+        let _ = std::panic::take_hook();
+        assert!(
+            snap_path.exists(),
+            "panic hook exported the telemetry snapshot"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

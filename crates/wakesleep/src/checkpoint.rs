@@ -21,7 +21,9 @@ use crate::run::CycleStats;
 /// Version stamp written into every checkpoint. Bump on any change to
 /// the serialized shape; loaders refuse other versions outright rather
 /// than misinterpreting fields.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2: `CycleStats` gained per-task `search_traces` forensics.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Serialized ChaCha8 generator state (see `rand_chacha::ChaCha8State`).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]

@@ -31,7 +31,9 @@ pub use checkpoint::{
     latest_checkpoint, prune_checkpoints, Checkpoint, CheckpointError, CHECKPOINT_VERSION,
 };
 pub use config::{Condition, DreamCoderConfig, RecognitionConfig};
-pub use report::{comparison_table, learning_curve, sparkline};
+pub use report::{comparison_table, forensics_report, forensics_table, learning_curve, sparkline};
 pub use run::{CycleStats, DreamCoder, RunSummary};
 pub use sleep::{abstraction_sleep, dream_sleep, generate_fantasies, DreamStats};
-pub use wake::{search_task, search_task_guarded, wake, Guide, TaskSearchResult};
+pub use wake::{
+    search_task, search_task_guarded, wake, Guide, SearchOutcome, SearchTrace, TaskSearchResult,
+};

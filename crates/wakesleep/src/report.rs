@@ -1,7 +1,9 @@
-//! Plain-text reporting helpers: learning-curve sparklines and aligned
-//! tables for run summaries (used by the figure benchmarks and the CLI).
+//! Plain-text reporting helpers: learning-curve sparklines, aligned
+//! tables for run summaries (used by the figure benchmarks and the CLI),
+//! and per-task search-forensics rendering.
 
 use crate::run::RunSummary;
+use crate::wake::SearchTrace;
 
 /// Render a unicode sparkline for a series in `[0, 1]`.
 pub fn sparkline(values: &[f64]) -> String {
@@ -46,6 +48,56 @@ pub fn table(rows: &[Vec<String>]) -> String {
             }
             out.push('\n');
         }
+    }
+    out
+}
+
+/// Per-task search forensics for one cycle's wake minibatch, as an
+/// aligned table: why each task was or wasn't solved — outcome, nats
+/// frontier reached, candidates enumerated/evaluated/typed-out, best
+/// log-posterior, and the hit's depth.
+pub fn forensics_table(traces: &[SearchTrace]) -> String {
+    if traces.is_empty() {
+        return String::new();
+    }
+    let mut rows = vec![vec![
+        "task".to_owned(),
+        "outcome".to_owned(),
+        "nats".to_owned(),
+        "enum".to_owned(),
+        "eval".to_owned(),
+        "typed-out".to_owned(),
+        "best logP".to_owned(),
+        "depth".to_owned(),
+    ]];
+    for t in traces {
+        rows.push(vec![
+            t.task.clone(),
+            t.outcome.label().to_owned(),
+            format!("{:.1}", t.nats_frontier),
+            t.programs_enumerated.to_string(),
+            t.programs_evaluated.to_string(),
+            t.typed_out.to_string(),
+            t.best_log_posterior
+                .map_or_else(|| "-".to_owned(), |lp| format!("{lp:.2}")),
+            t.hit_depth
+                .map_or_else(|| "-".to_owned(), |d| d.to_string()),
+        ]);
+    }
+    table(&rows)
+}
+
+/// Forensics across a whole run: one table per cycle that recorded
+/// traces, headed by the cycle index.
+pub fn forensics_report(summary: &RunSummary) -> String {
+    let mut out = String::new();
+    for c in &summary.cycles {
+        if c.search_traces.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("cycle {}\n", c.cycle));
+        out.push_str(&forensics_table(&c.search_traces));
+        out.push('\n');
     }
     out
 }
@@ -107,6 +159,7 @@ mod tests {
                     mean_solve_time: 0.0,
                     median_solve_time: 0.0,
                     new_inventions: vec![],
+                    search_traces: vec![],
                 })
                 .collect(),
             library: vec!["#f".to_owned()],
@@ -132,6 +185,47 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 3); // header + rule + row
         assert!(lines[1].contains('-'));
+    }
+
+    #[test]
+    fn forensics_tables_render() {
+        use crate::wake::{SearchOutcome, SearchTrace};
+        let traces = vec![
+            SearchTrace {
+                task: "head".into(),
+                outcome: SearchOutcome::Solved,
+                nats_frontier: 7.5,
+                programs_enumerated: 120,
+                programs_evaluated: 120,
+                typed_out: 44,
+                best_log_posterior: Some(-3.25),
+                hit_depth: Some(3),
+                solve_time: Some(0.1),
+            },
+            SearchTrace {
+                task: "impossible".into(),
+                outcome: SearchOutcome::BudgetExhausted,
+                nats_frontier: 8.0,
+                programs_enumerated: 900,
+                programs_evaluated: 900,
+                typed_out: 310,
+                best_log_posterior: None,
+                hit_depth: None,
+                solve_time: None,
+            },
+        ];
+        let t = forensics_table(&traces);
+        assert!(t.contains("head"));
+        assert!(t.contains("solved"));
+        assert!(t.contains("budget"));
+        assert!(t.contains("-3.25"));
+        assert_eq!(forensics_table(&[]), "");
+
+        let mut s = summary("A", &[0.5]);
+        s.cycles[0].search_traces = traces;
+        let report = forensics_report(&s);
+        assert!(report.contains("cycle 0"));
+        assert!(report.contains("impossible"));
     }
 
     #[test]

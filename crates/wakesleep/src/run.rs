@@ -20,7 +20,7 @@ use serde::Serialize;
 use crate::checkpoint::{self, Checkpoint, CheckpointError, SavedRngState, TaskFrontier};
 use crate::config::DreamCoderConfig;
 use crate::sleep::{abstraction_sleep, dream_sleep};
-use crate::wake::{search_task_guarded, wake, Guide, TaskSearchResult};
+use crate::wake::{search_task_guarded, wake, Guide, SearchTrace, TaskSearchResult};
 use dc_grammar::persist::{load_frontier, load_grammar, save_frontier, save_grammar};
 use serde::Deserialize;
 
@@ -43,6 +43,10 @@ pub struct CycleStats {
     pub median_solve_time: f64,
     /// Inventions added this cycle.
     pub new_inventions: Vec<String>,
+    /// Per-task search forensics for this cycle's wake minibatch
+    /// (empty when `collect_search_traces` is off). Adding this field
+    /// changed the checkpoint shape — see `CHECKPOINT_VERSION` v2.
+    pub search_traces: Vec<SearchTrace>,
 }
 
 /// Summary of a complete run.
@@ -249,7 +253,7 @@ impl<'d> DreamCoder<'d> {
         // like the search itself. The collect preserves task order, so the
         // guides (and everything downstream) are thread-count-invariant.
         let guides: Vec<Guide> = {
-            let _timer = dc_telemetry::time("wake.predict");
+            let _span = dc_telemetry::span("wake.predict");
             tasks.par_iter().map(|t| self.guide_for(t)).collect()
         };
         let results = wake(
@@ -352,9 +356,13 @@ impl<'d> DreamCoder<'d> {
             return (0.0, Vec::new());
         }
         use rayon::prelude::*;
+        // As in `wake`: worker span stacks start empty, so hand the
+        // current span in by handle to keep eval searches nested.
+        let parent = dc_telemetry::current_span();
         let results: Vec<TaskSearchResult> = tasks
             .par_iter()
             .map(|task| {
+                let _span = dc_telemetry::span_under(parent, "eval.search");
                 let guide = self.guide_for(task);
                 search_task_guarded(task, &guide, &self.grammar, self.config.beam_size, config)
             })
@@ -376,14 +384,46 @@ impl<'d> DreamCoder<'d> {
     /// included.
     pub fn run(&mut self) -> RunSummary {
         for cycle in self.start_cycle..self.config.cycles {
-            let cycle_timer = dc_telemetry::time("cycle.total");
+            // A requested interrupt (first Ctrl-C) is honored at cycle
+            // granularity: the last completed cycle's checkpoint is the
+            // resume point, so stopping between cycles loses nothing.
+            if dc_telemetry::interrupt_requested() {
+                dc_telemetry::event(
+                    dc_telemetry::Level::Warn,
+                    "run.interrupted",
+                    &[("before_cycle", cycle.into())],
+                );
+                dc_telemetry::set_status("phase", "interrupted");
+                break;
+            }
+            dc_telemetry::set_status("cycle", cycle);
+            let cycle_timer = dc_telemetry::span("cycle.total");
+            let search_traces;
             {
-                let _wake = dc_telemetry::time("cycle.wake");
-                self.wake_cycle();
+                dc_telemetry::set_status("phase", "wake");
+                let _wake = dc_telemetry::span("cycle.wake");
+                let results = self.wake_cycle();
+                search_traces = if self.config.collect_search_traces {
+                    results
+                        .iter()
+                        .map(|(_, r)| {
+                            let mut trace = r.trace.clone();
+                            if self.config.deterministic_timing {
+                                // Same scrub as the solve-time metrics:
+                                // wall clock must not reach the summary.
+                                trace.solve_time = None;
+                            }
+                            trace
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
             }
             let mut new_inventions = Vec::new();
             {
-                let _compression = dc_telemetry::time("cycle.compression");
+                dc_telemetry::set_status("phase", "compression");
+                let _compression = dc_telemetry::span("cycle.compression");
                 if self.config.condition.uses_compression() {
                     new_inventions = self.abstraction_cycle();
                 } else if !self.frontiers.is_empty() {
@@ -413,7 +453,8 @@ impl<'d> DreamCoder<'d> {
                 }
             }
             if self.config.condition.uses_recognition() {
-                let _dream = dc_telemetry::time("cycle.dream");
+                dc_telemetry::set_status("phase", "dream");
+                let _dream = dc_telemetry::span("cycle.dream");
                 // The network predicts a residual on top of the current
                 // fitted generative weights (see RecognitionModel docs).
                 let bias = self.grammar.weights.clone();
@@ -422,7 +463,8 @@ impl<'d> DreamCoder<'d> {
                 }
                 self.dream_cycle();
             }
-            let eval_timer = dc_telemetry::time("cycle.eval");
+            dc_telemetry::set_status("phase", "eval");
+            let eval_timer = dc_telemetry::span("cycle.eval");
             let (test_solved, times) =
                 self.evaluate(self.domain.test_tasks(), &self.config.test_enumeration);
             drop(eval_timer);
@@ -437,6 +479,10 @@ impl<'d> DreamCoder<'d> {
             dc_telemetry::set_gauge("library.depth", self.grammar.library.depth() as f64);
             dc_telemetry::set_gauge("train.solved", self.frontiers.len() as f64);
             dc_telemetry::set_gauge("test.solved_fraction", test_solved);
+            dc_telemetry::set_status("cycles_completed", cycle + 1);
+            dc_telemetry::set_status("train_solved", self.frontiers.len());
+            dc_telemetry::set_status("test_solved_fraction", test_solved);
+            dc_telemetry::set_status("library_size", self.grammar.library.len());
             dc_telemetry::event(
                 dc_telemetry::Level::Info,
                 "cycle.complete",
@@ -462,11 +508,16 @@ impl<'d> DreamCoder<'d> {
                 mean_solve_time: mean,
                 median_solve_time: median,
                 new_inventions,
+                search_traces,
             });
             if let Some(dir) = self.config.checkpoint_dir.clone() {
                 let ckpt = self.checkpoint(cycle + 1);
                 match ckpt.write_atomic(&dir) {
                     Ok(_) => {
+                        dc_telemetry::set_status(
+                            "last_checkpoint_unix_ms",
+                            dc_telemetry::unix_time_ms(),
+                        );
                         if let Err(err) =
                             checkpoint::prune_checkpoints(&dir, self.config.checkpoint_keep)
                         {
@@ -489,6 +540,9 @@ impl<'d> DreamCoder<'d> {
             }
         }
         let final_test_solved = self.stats.last().map_or(0.0, |c| c.test_solved);
+        if !dc_telemetry::interrupt_requested() {
+            dc_telemetry::set_status("phase", "done");
+        }
         RunSummary {
             condition: self.config.condition.label().to_owned(),
             domain: self.domain.name().to_owned(),
@@ -660,22 +714,30 @@ mod tests {
     #[test]
     fn no_compression_refit_rescores_stored_frontiers() {
         // Regression test: the θ-refit branch used to refit the grammar but
-        // leave the stored beams scored under the stale θ.
-        let domain = ListDomain::new(0);
-        let mut dc = DreamCoder::new(&domain, quick_config(Condition::NoCompression));
-        dc.run();
-        assert!(!dc.frontiers.is_empty(), "should solve some tasks");
-        for frontier in dc.frontiers.values() {
-            for entry in &frontier.entries {
-                let expected = dc.grammar.log_prior(&frontier.request, &entry.expr);
-                assert!(
-                    (entry.log_prior - expected).abs() < 1e-9,
-                    "stored prior {} disagrees with refit grammar {}",
-                    entry.log_prior,
-                    expected
-                );
-            }
-        }
+        // leave the stored beams scored under the stale θ. Runs on a big
+        // stack for the same reason as `full_run_makes_progress_on_lists`.
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn(|| {
+                let domain = ListDomain::new(0);
+                let mut dc = DreamCoder::new(&domain, quick_config(Condition::NoCompression));
+                dc.run();
+                assert!(!dc.frontiers.is_empty(), "should solve some tasks");
+                for frontier in dc.frontiers.values() {
+                    for entry in &frontier.entries {
+                        let expected = dc.grammar.log_prior(&frontier.request, &entry.expr);
+                        assert!(
+                            (entry.log_prior - expected).abs() < 1e-9,
+                            "stored prior {} disagrees with refit grammar {}",
+                            entry.log_prior,
+                            expected
+                        );
+                    }
+                }
+            })
+            .expect("spawn test thread")
+            .join()
+            .expect("refit run panicked");
     }
 
     #[test]

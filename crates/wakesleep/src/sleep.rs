@@ -144,13 +144,13 @@ pub fn dream_sleep<R: Rng>(
     // therefore bit-identical across thread counts (DESIGN.md §9).
     let stream_key: u64 = rng.gen();
     let fantasies = {
-        let _timer = dc_telemetry::time("dream.fantasies");
+        let _span = dc_telemetry::span("dream.fantasies");
         generate_fantasies(domain, grammar, config, stream_key)
     };
     let made = fantasies.len();
     examples.extend(fantasies);
     let final_loss = {
-        let _timer = dc_telemetry::time("dream.train");
+        let _span = dc_telemetry::span("dream.train");
         model.train(&examples, config.epochs, rng)
     };
     DreamStats {
@@ -196,9 +196,11 @@ pub fn generate_fantasies(
     for wave in 0..10u64 {
         let lo = wave * config.fantasies as u64;
         let slots: Vec<u64> = (lo..lo + config.fantasies as u64).collect();
+        let parent = dc_telemetry::current_span();
         let produced: Vec<Option<TrainingExample>> = slots
             .par_iter()
             .map(|&slot| {
+                let _span = dc_telemetry::span_under(parent, "dream.fantasy");
                 fantasy_attempt_guarded(domain, grammar, &requests, config, stream_key, slot)
             })
             .collect();

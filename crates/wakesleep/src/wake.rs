@@ -6,11 +6,12 @@
 
 use std::time::Instant;
 
-use dc_grammar::enumeration::{enumerate_programs, EnumerationConfig};
+use dc_grammar::enumeration::{enumerate_programs_stats, EnumerationConfig};
 use dc_grammar::frontier::{Frontier, FrontierEntry};
 use dc_grammar::grammar::{ContextualGrammar, Grammar, ProgramPrior};
 use dc_tasks::task::Task;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// What guides the search for one task.
 #[derive(Debug, Clone)]
@@ -30,6 +31,74 @@ impl Guide {
     }
 }
 
+/// Why one task's search ended the way it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchOutcome {
+    /// At least one program hit the task's examples.
+    Solved,
+    /// The nats budget ran out with no hit.
+    BudgetExhausted,
+    /// The wall-clock deadline fired with no hit.
+    Timeout,
+    /// The task's evaluator panicked; the search was abandoned.
+    EvalPanic,
+}
+
+impl SearchOutcome {
+    /// Short display label (`solved`, `budget`, `timeout`, `panic`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SearchOutcome::Solved => "solved",
+            SearchOutcome::BudgetExhausted => "budget",
+            SearchOutcome::Timeout => "timeout",
+            SearchOutcome::EvalPanic => "panic",
+        }
+    }
+}
+
+/// Per-task, per-cycle search forensics: enough to explain *why* a task
+/// was or wasn't solved without re-running the cycle. Recorded by every
+/// wake search and surfaced in the per-cycle report JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchTrace {
+    /// Task name.
+    pub task: String,
+    /// How the search ended.
+    pub outcome: SearchOutcome,
+    /// Nats frontier completed: every program cheaper than this bound
+    /// (under the guiding prior) was enumerated.
+    pub nats_frontier: f64,
+    /// Candidate programs enumerated.
+    pub programs_enumerated: usize,
+    /// Candidates actually run against the task's examples.
+    pub programs_evaluated: usize,
+    /// Candidate heads rejected by unification before enumeration.
+    pub typed_out: u64,
+    /// Best `log P[ρ|D,θ] + log P[x|ρ]` in the final beam, if any.
+    pub best_log_posterior: Option<f64>,
+    /// Syntactic depth of the best hit, if any.
+    pub hit_depth: Option<usize>,
+    /// Seconds until the first hit, if any (`None` under
+    /// `deterministic_timing`, where wall-clock may not reach results).
+    pub solve_time: Option<f64>,
+}
+
+impl SearchTrace {
+    fn evaluator_panic(task: &Task) -> SearchTrace {
+        SearchTrace {
+            task: task.name.clone(),
+            outcome: SearchOutcome::EvalPanic,
+            nats_frontier: 0.0,
+            programs_enumerated: 0,
+            programs_evaluated: 0,
+            typed_out: 0,
+            best_log_posterior: None,
+            hit_depth: None,
+            solve_time: None,
+        }
+    }
+}
+
 /// Result of searching one task.
 #[derive(Debug, Clone)]
 pub struct TaskSearchResult {
@@ -39,6 +108,8 @@ pub struct TaskSearchResult {
     pub solve_time: Option<f64>,
     /// Programs enumerated.
     pub programs_enumerated: usize,
+    /// Search forensics for this task.
+    pub trace: SearchTrace,
 }
 
 /// Search one task: enumerate programs under `guide`, score hits under the
@@ -54,9 +125,9 @@ pub fn search_task(
     let mut frontier = Frontier::new(task.request.clone());
     let mut solve_time = None;
     let started = Instant::now();
-    let mut enumerated = 0usize;
-    enumerate_programs(guide.prior(), &task.request, config, &mut |expr, _ll| {
-        enumerated += 1;
+    let mut evaluated = 0usize;
+    let stats = enumerate_programs_stats(guide.prior(), &task.request, config, &mut |expr, _ll| {
+        evaluated += 1;
         let log_likelihood = task.oracle.log_likelihood(&expr);
         if log_likelihood.is_finite() {
             if solve_time.is_none() {
@@ -74,10 +145,30 @@ pub fn search_task(
         }
         true
     });
+    let best = frontier.best();
+    let outcome = if best.is_some() {
+        SearchOutcome::Solved
+    } else if stats.timed_out {
+        SearchOutcome::Timeout
+    } else {
+        SearchOutcome::BudgetExhausted
+    };
+    let trace = SearchTrace {
+        task: task.name.clone(),
+        outcome,
+        nats_frontier: stats.frontier_nats,
+        programs_enumerated: stats.programs,
+        programs_evaluated: evaluated,
+        typed_out: stats.typed_out,
+        best_log_posterior: best.map(|e| e.log_posterior()),
+        hit_depth: best.map(|e| e.expr.depth()),
+        solve_time,
+    };
     TaskSearchResult {
         frontier,
         solve_time,
-        programs_enumerated: enumerated,
+        programs_enumerated: stats.programs,
+        trace,
     }
 }
 
@@ -121,6 +212,7 @@ pub fn search_task_guarded(
                 frontier: Frontier::new(task.request.clone()),
                 solve_time: None,
                 programs_enumerated: 0,
+                trace: SearchTrace::evaluator_panic(task),
             }
         }
     }
@@ -137,10 +229,19 @@ pub fn wake(
     config: &EnumerationConfig,
 ) -> Vec<TaskSearchResult> {
     assert_eq!(tasks.len(), guides.len(), "one guide per task");
-    tasks
-        .par_iter()
-        .zip(guides.par_iter())
-        .map(|(task, guide)| search_task_guarded(task, guide, scorer, beam_size, config))
+    // Worker threads start with empty span stacks; carry the caller's
+    // innermost span in by handle so per-task spans nest under the phase.
+    let parent = dc_telemetry::current_span();
+    (0..tasks.len())
+        .into_par_iter()
+        .map(|idx| {
+            let _span = dc_telemetry::span_under_with_fields(
+                parent,
+                "wake.search",
+                &[("task", idx.into())],
+            );
+            search_task_guarded(tasks[idx], &guides[idx], scorer, beam_size, config)
+        })
         .collect()
 }
 

@@ -97,6 +97,7 @@ fn usage() -> ExitCode {
          \x20              [--checkpoint-dir DIR] [--checkpoint-keep N] [--resume] [--summary-out FILE]\n\
          \x20              [--deterministic] [--wake-nats B] [--test-nats B]\n\
          \x20              [--map-fantasies] [--fantasy-nats B]\n\
+         \x20              [--status-addr HOST:PORT] [--trace-out FILE] [--log-level debug|info|warn]\n\
          dreamcoder solve --domain <name> --task <task name> [--timeout-ms MS]\n\
          dreamcoder domains\n\
          \n\
@@ -109,7 +110,14 @@ fn usage() -> ExitCode {
          --test-nats) and zeroes timing metrics, making a seeded run byte-\n\
          reproducible (DESIGN.md \u{a7}8). --map-fantasies trains dreams on\n\
          each dreamed task's MAP program (Appendix Alg. 3); combined with\n\
-         --deterministic that search is bounded by --fantasy-nats B."
+         --deterministic that search is bounded by --fantasy-nats B.\n\
+         \n\
+         --status-addr serves live run introspection over HTTP while the\n\
+         run is in flight: GET /metrics (Prometheus text), /status (JSON),\n\
+         /healthz. --trace-out additionally records every span as a Chrome\n\
+         trace-event file loadable in Perfetto / chrome://tracing.\n\
+         --log-level (or the DC_LOG env var; the flag wins) sets the\n\
+         minimum severity written to the --events JSONL file."
     );
     ExitCode::FAILURE
 }
@@ -215,17 +223,47 @@ fn main() -> ExitCode {
                 ..DreamCoderConfig::default()
             };
             // Metrics are on for every run; `--events FILE` additionally
-            // streams structured JSONL events (debug level) to FILE.
+            // streams structured JSONL events to FILE at the severity
+            // chosen by --log-level / DC_LOG (flag beats env beats info).
             dreamcoder::telemetry::enable();
+            let log_level = dreamcoder::telemetry::resolve_level(
+                args.flag("--log-level").as_deref(),
+                std::env::var("DC_LOG").ok().as_deref(),
+            );
             if let Some(events) = args.flag("--events") {
-                if let Err(e) = dreamcoder::telemetry::set_event_file(
-                    std::path::Path::new(&events),
-                    dreamcoder::telemetry::Level::Debug,
-                ) {
+                if let Err(e) =
+                    dreamcoder::telemetry::set_event_file(std::path::Path::new(&events), log_level)
+                {
                     eprintln!("cannot open event log {events:?}: {e}");
                     return ExitCode::FAILURE;
                 }
             }
+            let telemetry_path = std::path::PathBuf::from("results/telemetry.json");
+            let trace_out = args.flag("--trace-out").map(std::path::PathBuf::from);
+            if trace_out.is_some() {
+                dreamcoder::telemetry::enable_trace_collection();
+            }
+            // Ctrl-C finishes the current phase, then the run loop exits
+            // cleanly (checkpoints, telemetry and the summary still land);
+            // a panic anywhere still flushes events and profiles.
+            dreamcoder::telemetry::install_sigint_handler();
+            dreamcoder::telemetry::install_abort_flush(
+                Some(telemetry_path.clone()),
+                trace_out.clone(),
+            );
+            let status_server = match args.flag("--status-addr") {
+                None => None,
+                Some(addr) => match dreamcoder::telemetry::start_status_server(&addr) {
+                    Ok(server) => {
+                        eprintln!("[status server listening on {}]", server.addr());
+                        Some(server)
+                    }
+                    Err(e) => {
+                        eprintln!("cannot bind status server on {addr:?}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             let mut dc = if args.has("--resume") {
                 let Some(dir) = checkpoint_dir.as_deref() else {
                     eprintln!("--resume requires --checkpoint-dir");
@@ -283,10 +321,18 @@ fn main() -> ExitCode {
                 }
                 println!("[summary written to {out}]");
             }
-            let telemetry_path = std::path::Path::new("results/telemetry.json");
-            match dreamcoder::telemetry::export_to_file(telemetry_path) {
+            match dreamcoder::telemetry::export_to_file(&telemetry_path) {
                 Ok(()) => println!("[telemetry written to {}]", telemetry_path.display()),
                 Err(e) => eprintln!("could not write telemetry: {e}"),
+            }
+            if let Some(trace) = &trace_out {
+                match dreamcoder::telemetry::export_chrome_trace(trace) {
+                    Ok(()) => println!("[trace written to {}]", trace.display()),
+                    Err(e) => eprintln!("could not write trace: {e}"),
+                }
+            }
+            if let Some(server) = status_server {
+                server.shutdown();
             }
             dreamcoder::telemetry::clear_event_sink();
             println!(
@@ -307,6 +353,12 @@ fn main() -> ExitCode {
                 for inv in &c.new_inventions {
                     println!("    invented {inv}");
                 }
+            }
+            if dreamcoder::telemetry::interrupt_requested() {
+                // Conventional 128 + SIGINT so wrappers can tell a clean
+                // early stop from a normal completion.
+                eprintln!("[run interrupted; partial results written]");
+                return ExitCode::from(130);
             }
             ExitCode::SUCCESS
         }
